@@ -1,0 +1,10 @@
+"""Ablation (Section 4.3.4): the 350 -> 600 MHz clock what-if."""
+
+import pytest
+
+
+def bench_ablation_frequency(run_experiment):
+    result = run_experiment("ablation_frequency")
+    for _, at_350, at_600, speedup in result.rows:
+        assert speedup == pytest.approx(600 / 350, rel=1e-6)
+        assert at_600 < at_350

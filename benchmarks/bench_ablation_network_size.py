@@ -1,0 +1,22 @@
+"""Ablation (Section 6.1 future work): network/input-size crossover."""
+
+
+def bench_ablation_network_size(run_experiment):
+    result = run_experiment("ablation_network_size")
+    yolo_rows = [row for row in result.rows if row[0] == "yolov3"]
+    ebnn_rows = [row for row in result.rows if row[0] == "ebnn"]
+
+    # YOLOv3 latency grows monotonically with input size and becomes more
+    # MRAM-dominated as resolution grows
+    yolo_latencies = [row[2] for row in yolo_rows]
+    assert yolo_latencies == sorted(yolo_latencies)
+    assert yolo_rows[-1][3] > yolo_rows[0][3]
+    assert yolo_rows[-1][3] > 0.9  # 416+ is almost entirely MRAM-bound
+
+    # eBNN stays WRAM-resident (no MRAM regime) at every size, but its
+    # latency grows superlinearly once the staging cap shrinks the batch
+    assert all(row[3] == 0.0 for row in ebnn_rows)
+    ebnn_latencies = [row[2] for row in ebnn_rows]
+    assert ebnn_latencies == sorted(ebnn_latencies)
+    # the mapping "starts losing": 4x the pixels costs far more than 4x
+    assert ebnn_latencies[-1] / ebnn_latencies[-2] > 8

@@ -1,0 +1,24 @@
+"""Ablation: relaxing Eq. 5.1's no-overlap assumption (Section 5.1)."""
+
+import pytest
+
+
+def bench_ablation_overlap(run_experiment):
+    result = run_experiment("ablation_overlap")
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    for name in ("pPIM", "DRISA", "UPMEM"):
+        serial = rows[(name, 0.0)][2]
+        half = rows[(name, 0.5)][2]
+        full = rows[(name, 1.0)][2]
+        # overlap never hurts, and gains are monotone
+        assert serial >= half >= full
+        # the gain is bounded by the smaller component (sanity: < 2x)
+        assert rows[(name, 1.0)][3] < 2.0
+
+    # pPIM (memory-heaviest of the three) gains the most from overlap
+    gains = {
+        name: rows[(name, 1.0)][3] for name in ("pPIM", "DRISA", "UPMEM")
+    }
+    assert max(gains, key=gains.get) == "pPIM"
+    assert gains["pPIM"] == pytest.approx(1.065, abs=0.03)

@@ -1,0 +1,17 @@
+"""Ablation (Section 4.3.4): growing WRAM until YOLOv3's buffers fit."""
+
+
+def bench_ablation_wram(run_experiment):
+    result = run_experiment("ablation_wram")
+    budgets = result.column("ctmp_budget_KB")
+    totals = result.column("total_s")
+    mram_layers = result.column("mram_bound_layers")
+
+    # more WRAM never hurts, and the MRAM-bound layer count only falls
+    assert totals == sorted(totals, reverse=True)
+    assert mram_layers == sorted(mram_layers, reverse=True)
+
+    # the full fix (676 KB ctmp) retires the MRAM regime entirely and is
+    # worth >5x over the shipped configuration
+    assert mram_layers[-1] == 0
+    assert totals[0] / totals[-1] > 5

@@ -1,0 +1,24 @@
+"""Section 6.1's CNN size study: eBNN -> AlexNet -> ResNet-18 -> YOLOv3."""
+
+import pytest
+
+
+def bench_cnn_size_study(run_experiment):
+    result = run_experiment("cnn_size_study")
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {"eBNN", "AlexNet", "ResNet-18", "YOLOv3"}
+
+    # latency ordering follows network size
+    latencies = [rows[n][2] for n in ("eBNN", "AlexNet", "ResNet-18", "YOLOv3")]
+    assert latencies == sorted(latencies)
+
+    # and so does the MRAM-bound fraction — the crossover diagnostic
+    mram = [rows[n][3] for n in ("eBNN", "AlexNet", "ResNet-18", "YOLOv3")]
+    assert mram == sorted(mram)
+    assert rows["eBNN"][3] == 0.0          # fully WRAM-resident
+    assert rows["YOLOv3"][3] > 0.9         # almost fully MRAM-bound
+
+    # MAC sanity: published sizes
+    assert rows["AlexNet"][1] == pytest.approx(1.14e9, rel=0.05)
+    assert rows["ResNet-18"][1] == pytest.approx(1.73e9, rel=0.05)
+    assert rows["YOLOv3"][1] == pytest.approx(32.9e9, rel=0.02)

@@ -1,0 +1,76 @@
+"""PrIM-style DPU primitive throughput (supporting Fig. 4.7(a)).
+
+The thesis anchors its tasklet-scaling observations on the behaviour the
+PrIM suite measured on real DPUs [Gomez-Luna et al.]: streaming kernels
+scale near-linearly to 11 tasklets and then saturate.  These benchmarks
+run the reference assembly kernels through the instruction-level
+simulator and check the same law.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dpu import samples
+
+N = 220  # elements per run (divisible by 1, 4, 11)
+
+
+def _rand(n=N, seed=0, hi=128):
+    return np.random.default_rng(seed).integers(0, hi, n).astype(np.int32)
+
+
+@pytest.mark.parametrize("name,builder", [
+    ("copy", lambda t: samples.copy_program(N, n_tasklets=t)),
+    ("scale", lambda t: samples.scale_program(N, 3, n_tasklets=t)),
+    ("relu", lambda t: samples.relu_program(N, n_tasklets=t)),
+])
+def bench_streaming_kernel(benchmark, name, builder):
+    """One streaming kernel at the saturation point (11 tasklets)."""
+    program = builder(11)
+    values = _rand()
+
+    def run():
+        _, result = program.run(values)
+        return result
+
+    result = benchmark(run)
+    # throughput: with the pipeline full, one instruction retires per
+    # cycle, so cycles scale with the per-element instruction count
+    assert result.cycles < 40 * N
+
+
+def bench_tasklet_scaling_law(benchmark):
+    """Cycles vs tasklets for the copy kernel: linear then flat at 11."""
+    values = _rand()
+
+    def sweep():
+        return {
+            t: samples.copy_program(N, n_tasklets=t).run(values)[1].cycles
+            for t in (1, 2, 4, 11, 16)
+        }
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\ncopy-kernel cycles by tasklet count:", cycles)
+    assert cycles[1] / cycles[2] == pytest.approx(2.0, rel=0.1)
+    assert cycles[1] / cycles[4] == pytest.approx(4.0, rel=0.1)
+    assert cycles[1] / cycles[11] == pytest.approx(11.0, rel=0.15)
+    # past the pipeline depth there is nothing left to gain
+    assert cycles[16] >= cycles[11] * 0.9
+
+
+def bench_reduction(benchmark):
+    """Two-phase barrier reduction at 11 tasklets."""
+    from repro.dpu.interpreter import run_program
+    from repro.dpu.memory import Wram
+
+    values = _rand(seed=5)
+    program = samples.reduction_program(N, n_tasklets=11)
+
+    def run():
+        wram = Wram()
+        wram.write_array(0, values)
+        _, wram = run_program(program.program, wram=wram, n_tasklets=11)
+        return wram.read_u32(samples.OUTPUT_BASE)
+
+    total = benchmark(run)
+    assert total == int(values.sum())

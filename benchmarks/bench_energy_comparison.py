@@ -1,0 +1,30 @@
+"""Energy extension of Table 5.4 / Fig. 5.7: joules per inference."""
+
+import pytest
+
+
+def bench_energy_comparison(run_experiment):
+    result = run_experiment("energy_comparison")
+    assert len(result.rows) == 14  # 7 architectures x 2 workloads
+
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    # energy = latency x power, always
+    for (_, _), row in rows.items():
+        assert row[4] == pytest.approx(row[2] * row[3])
+        assert row[5] == pytest.approx(row[4] * row[2])
+
+    # 1/energy must reproduce the published frames/s-W numbers
+    from repro.pimmodel.benchmarking import PAPER_TABLE_5_4
+
+    for name, paper in PAPER_TABLE_5_4.items():
+        assert 1.0 / rows[(name, "ebnn")][4] == pytest.approx(
+            paper["ebnn_tpw"], rel=0.01
+        )
+        assert 1.0 / rows[(name, "yolov3")][4] == pytest.approx(
+            paper["yolo_tpw"], rel=0.01
+        )
+
+    # the big picture: SCOPE's chip burns orders of magnitude more energy
+    # per eBNN frame than pPIM/LACC despite its raw speed
+    assert rows[("SCOPE-Vanilla", "ebnn")][4] > rows[("pPIM", "ebnn")][4]

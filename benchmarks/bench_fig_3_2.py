@@ -1,0 +1,21 @@
+"""Fig. 3.2: subroutine occurrence profile of an fp-heavy DPU program.
+
+Runs the profiling program through the instruction interpreter and
+reports the ``#occ`` rows for the same subroutine family the thesis
+profiles (__ltsf2, __divsf3, __floatsisf, __addsf3, __muldi3).
+"""
+
+from repro.dpu.runtime_calls import FIG_3_2_SUBROUTINES
+
+
+def bench_fig_3_2(run_experiment):
+    result = run_experiment("fig_3_2")
+    names = set(result.column("subroutine"))
+    assert set(FIG_3_2_SUBROUTINES) <= names
+    occurrences = result.column("occurrences")
+    assert all(count > 0 for count in occurrences)
+    # float division is the dominant cycle sink, matching Table 3.1
+    by_name = dict(
+        zip(result.column("subroutine"), result.column("single_tasklet_cycles"))
+    )
+    assert by_name["__divsf3"] == max(by_name.values())

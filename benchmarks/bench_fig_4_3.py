@@ -1,0 +1,23 @@
+"""Fig. 4.3: float-subroutine reduction from the LUT transformation.
+
+The default eBNN DPU program calls 10+ runtime subroutines (the float
+BN+BinAct chain); the LUT variant calls exactly 2 (__mulsi3 / __muldi3,
+the indexing multiplies the thesis notes cannot be removed).
+"""
+
+
+def bench_fig_4_3(run_experiment):
+    result = run_experiment("fig_4_3")
+    by_variant = {row[0]: row for row in result.rows}
+    default = by_variant["default (float BN+BinAct)"]
+    lut = by_variant["LUT"]
+
+    # paper: 11+ subroutines reduced to 2
+    assert default[1] >= 10
+    assert lut[1] == 2
+    # float subroutines vanish entirely
+    assert default[2] >= 8
+    assert lut[2] == 0
+    # __mulsi3 survives in both (tied to a dependent part of the program)
+    assert "__mulsi3" in default[3]
+    assert "__mulsi3" in lut[3]

@@ -1,0 +1,26 @@
+"""Fig. 4.7(a): tasklet-count speedup for eBNN and YOLOv3.
+
+Paper shapes: YOLOv3 saturates at 11 tasklets (pipeline depth); eBNN dips
+at 11 and recovers to its peak at 16, where tasklets match the 16-image
+batch.
+"""
+
+
+def bench_fig_4_7a(run_experiment):
+    result = run_experiment("fig_4_7a")
+    tasklets = result.column("tasklets")
+    ebnn = dict(zip(tasklets, result.column("ebnn_speedup")))
+    yolo = dict(zip(tasklets, result.column("yolo_speedup")))
+
+    # YOLOv3: monotone rise to 11, then flat
+    assert yolo[2] > yolo[1]
+    assert yolo[11] > yolo[8]
+    assert abs(yolo[24] - yolo[11]) / yolo[11] < 0.01
+    assert 8 <= yolo[11] <= 11.5
+
+    # eBNN: linear region to 8, dip through 11-14, peak at 16
+    assert ebnn[8] > 7.5
+    assert ebnn[14] < ebnn[8] * 1.05
+    assert ebnn[16] == max(ebnn.values())
+    assert ebnn[16] > 10
+    assert ebnn[20] < ebnn[16]

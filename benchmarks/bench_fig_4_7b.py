@@ -1,0 +1,21 @@
+"""Fig. 4.7(b): YOLOv3 under threading x compiler-optimization combos.
+
+Paper ordering: O0 + no threading poorest; O3 + threading best; the
+threading jump is larger than the compiler-optimization jump.
+"""
+
+
+def bench_fig_4_7b(run_experiment):
+    result = run_experiment("fig_4_7b")
+    grid = {(opt, t): latency for opt, t, latency, _ in result.rows}
+
+    assert grid[("O0", 1)] == max(grid.values())
+    assert grid[("O3", 11)] == min(grid.values())
+
+    threading_jump = grid[("O0", 1)] / grid[("O0", 11)]
+    optimization_jump = grid[("O0", 1)] / grid[("O3", 1)]
+    assert threading_jump > optimization_jump
+    assert threading_jump > 4
+
+    # best configuration sits in the paper's latency regime (65 s +- ~2x)
+    assert 20 <= grid[("O3", 11)] <= 130

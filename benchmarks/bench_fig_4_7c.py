@@ -1,0 +1,23 @@
+"""Fig. 4.7(c): eBNN speedup over the Intel Xeon CPU vs DPU count.
+
+Paper: the speedup grows linearly with DPUs, maximal at the full
+2560-DPU system.
+"""
+
+import pytest
+
+
+def bench_fig_4_7c(run_experiment):
+    result = run_experiment("fig_4_7c")
+    counts = result.column("n_dpus")
+    speedups = result.column("speedup")
+
+    # linear scaling: speedup per DPU is constant
+    per_dpu = [s / c for c, s in zip(counts, speedups)]
+    assert max(per_dpu) == pytest.approx(min(per_dpu), rel=1e-9)
+
+    # maximum at the full system
+    assert counts[-1] == 2560
+    assert speedups[-1] == max(speedups)
+    # the full system beats the single CPU by a wide margin
+    assert speedups[-1] > 10

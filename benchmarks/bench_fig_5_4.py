@@ -1,0 +1,16 @@
+"""Fig. 5.4: the adds-without-carry tent pattern of pPIM's multiplication."""
+
+
+def bench_fig_5_4(run_experiment):
+    result = run_experiment("fig_5_4")
+    patterns = {
+        bits: [int(v) for v in series.split()]
+        for bits, series in result.rows
+    }
+    assert patterns[16] == [0, 2, 4, 6, 6, 4, 2, 0]
+    for bits, pattern in patterns.items():
+        # tent: symmetric, rises by 2, falls by 2, zero at the edges
+        assert pattern == pattern[::-1]
+        assert pattern[0] == pattern[-1] == 0
+        deltas = {b - a for a, b in zip(pattern, pattern[1:])}
+        assert deltas <= {-2, 0, 2}

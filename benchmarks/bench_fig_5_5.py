@@ -1,0 +1,28 @@
+"""Fig. 5.5: Eq. 5.3 parameter sweeps per architecture.
+
+Paper trends: the TOPs sweep is a ceil() staircase at constant PEs; the
+PE sweep drops steeply once parallelism appears, then flattens.
+"""
+
+from repro.pimmodel.compute_model import sweep_pes, sweep_total_ops
+
+
+def bench_fig_5_5(run_experiment):
+    result = run_experiment("fig_5_5")
+    assert {"DRISA", "pPIM", "UPMEM"} == set(result.column("architecture"))
+    assert {"tops_sweep", "pe_sweep"} == set(result.column("panel"))
+
+    # per-architecture trend checks on denser sweeps than the table prints
+    for arch, pes in (("DRISA", 32768), ("pPIM", 256), ("UPMEM", 2560)):
+        tops_points = sweep_total_ops(
+            arch, 8, pes, list(range(1, 8 * pes, max(1, pes // 4)))
+        )
+        values = [cycles for _, cycles in tops_points]
+        assert values == sorted(values)              # non-decreasing
+        assert len(set(values)) < len(values)        # with flat steps
+
+        pe_points = sweep_pes(arch, 8, 100_000, [1, 2, 16, 256, 4096])
+        pe_values = [cycles for _, cycles in pe_points]
+        assert pe_values == sorted(pe_values, reverse=True)
+        # the first doubling of PEs halves the cycles (steep region)
+        assert pe_values[0] / pe_values[1] > 1.9

@@ -1,0 +1,21 @@
+"""Fig. 5.6: DRISA vs pPIM vs UPMEM on one multiplication workload.
+
+Paper conclusion: pPIM is best at 8- and 16-bit multiplication, UPMEM
+best at 32-bit (the LUT blow-up overtakes the subroutine cost).
+"""
+
+
+def bench_fig_5_6(run_experiment):
+    result = run_experiment("fig_5_6")
+    winners = dict(zip(result.column("operand_bits"), result.column("winner")))
+    assert winners[8] == "pPIM"
+    assert winners[16] == "pPIM"
+    assert winners[32] == "UPMEM"
+
+    # cycles follow C_op x 40 serial waves (PEs=2560, TOPs=100000)
+    by_bits = {
+        bits: {"DRISA": drisa, "pPIM": ppim, "UPMEM": upmem}
+        for bits, drisa, ppim, upmem, _ in result.rows
+    }
+    assert by_bits[8]["pPIM"] == 6 * 40
+    assert by_bits[32]["UPMEM"] == 570 * 40

@@ -1,0 +1,24 @@
+"""Future-work experiment (Section 6.1): multi-image YOLOv3 mapping."""
+
+import math
+
+
+def bench_future_multi_image_yolo(run_experiment):
+    result = run_experiment("future_multi_image_yolo")
+    rows = {row[0]: row for row in result.rows}
+
+    # full width: the scheme is memory-infeasible
+    assert rows[1.0][2] is False
+    assert rows[1.0][1] > 64  # footprint in MB exceeds MRAM
+
+    # half width and below: feasible, big throughput / latency trade
+    for scale in (0.5, 0.25, 0.125):
+        _, footprint, fits, row_lat, whole_lat, advantage, penalty = rows[scale]
+        assert fits is True
+        assert footprint <= 64
+        assert advantage > 5
+        assert penalty > 10
+        assert not math.isnan(whole_lat)
+
+    # narrower networks keep the advantage structure
+    assert rows[0.125][3] < rows[0.5][3]  # row latency falls with width

@@ -1,0 +1,30 @@
+"""Eq. 3.4: MRAM access cycles = DMA setup + bytes/2.
+
+Sweeps transfer sizes and checks the paper's worked 2048-byte example,
+plus benchmarks the actual simulated DMA engine doing the transfer.
+"""
+
+from repro.dpu.memory import DmaEngine, Mram, Wram
+
+
+def bench_eq_3_4_model(run_experiment):
+    result = run_experiment("eq_3_4")
+    by_size = dict(zip(result.column("transfer_bytes"), result.column("cycles")))
+    assert by_size[2048] == 1049          # the paper's example
+    assert by_size[8] == 25 + 4
+    # amortization: cycles/byte falls monotonically with size
+    per_byte = result.column("cycles_per_byte")
+    assert per_byte == sorted(per_byte, reverse=True)
+
+
+def bench_dma_engine_transfer(benchmark):
+    """Wall-clock benchmark of the simulated 2048-byte DMA transfer."""
+    mram, wram = Mram(), Wram()
+    dma = DmaEngine(mram, wram)
+    mram.write(0, bytes(2048))
+
+    def transfer():
+        return dma.mram_to_wram(0, 0, 2048)
+
+    cycles = benchmark(transfer)
+    assert cycles == 1049

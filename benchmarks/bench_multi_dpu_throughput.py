@@ -1,0 +1,23 @@
+"""Section 4.3.2: system-wide eBNN throughput with MRAM-resident images."""
+
+import pytest
+
+
+def bench_multi_dpu_throughput(run_experiment):
+    result = run_experiment("multi_dpu_throughput")
+    counts = result.column("n_dpus")
+    throughputs = result.column("throughput_fps")
+    resident = result.column("images_resident")
+
+    # throughput and capacity scale exactly linearly with DPUs
+    per_dpu = [t / n for t, n in zip(throughputs, counts)]
+    assert max(per_dpu) == pytest.approx(min(per_dpu))
+    assert resident[-1] == 2560 * 316_800
+
+    # the resident-load completion time is independent of the DPU count
+    # (every DPU drains its own MRAM in parallel)
+    load_times = result.column("resident_load_s")
+    assert max(load_times) == pytest.approx(min(load_times))
+
+    # full system: hundreds of thousands of frames per second
+    assert throughputs[-1] > 1e5

@@ -1,0 +1,15 @@
+"""Table 2.1: UPMEM PIM attributes.
+
+Regenerates the platform sheet and pins every constant the rest of the
+reproduction builds on.
+"""
+
+
+def bench_table_2_1(run_experiment):
+    result = run_experiment("table_2_1")
+    rows = dict(result.rows)
+    assert rows["No. of DPUs"] == "2560 (20 DIMM)"
+    assert rows["DPU Operating Frequency"] == "350 MHz"
+    assert rows["DPU Pipeline Stages"] == "11"
+    assert rows["DPU MRAM Size"] == "64 MB"
+    assert rows["DPU WRAM Size"] == "64 KB"

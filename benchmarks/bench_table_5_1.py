@@ -1,0 +1,24 @@
+"""Table 5.1: the computational model walked through on 8-bit AlexNet."""
+
+import pytest
+
+
+def bench_table_5_1(run_experiment):
+    result = run_experiment("table_5_1")
+    rows = {row[0]: row[1:] for row in result.rows}  # label -> (pPIM, DRISA, UPMEM)
+
+    assert rows["Cop"] == [8, 211, 88]
+    assert rows["PEs"] == [256, 32768, 2560]
+    assert rows["Dp"] == [1, 1, 11]
+
+    tcomp = rows["Tcomp (TOPs) (s)"]
+    paper_tcomp = (6.48e-2, 1.40e-1, 2.54e-1)
+    for ours, published in zip(tcomp, paper_tcomp):
+        assert ours == pytest.approx(published, rel=0.01)
+
+    # the thesis's validation: model output matches literature AlexNet
+    # latency for pPIM and DRISA (UPMEM's literature value includes
+    # profiling instructions, Section 5.2.4)
+    literature = rows["Literature AlexNet latency (s)"]
+    assert tcomp[0] == pytest.approx(literature[0], rel=0.02)  # pPIM
+    assert tcomp[1] == pytest.approx(literature[1], rel=0.02)  # DRISA

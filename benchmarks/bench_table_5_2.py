@@ -1,0 +1,19 @@
+"""Table 5.2: multiplication C_op by operand size per architecture.
+
+Every cell must match the thesis verbatim, including the starred values
+it derives from Algorithm 3 (pPIM) and curve fitting (DRISA).
+"""
+
+PAPER = {
+    "pPIM": {4: 1, 8: 6, 16: 124, 32: 1016},
+    "DRISA": {4: 110, 8: 200, 16: 380, 32: 740},
+    "UPMEM": {4: 44, 8: 44, 16: 370, 32: 570},
+}
+
+
+def bench_table_5_2(run_experiment):
+    result = run_experiment("table_5_2")
+    for bits, ppim, drisa, upmem, *_ in result.rows:
+        assert ppim == PAPER["pPIM"][bits]
+        assert drisa == PAPER["DRISA"][bits]
+        assert upmem == PAPER["UPMEM"][bits]

@@ -1,0 +1,23 @@
+"""Table 5.3: the memory model (Eq. 5.10) on 8-bit AlexNet."""
+
+import pytest
+
+PAPER_TMEM = {"pPIM": 4.24e-3, "DRISA": 1.80e-7, "UPMEM": 3.07e-3}
+PAPER_TOTALS = {"pPIM": 6.90e-2, "DRISA": 1.40e-1, "UPMEM": 2.57e-1}
+
+
+def bench_table_5_3(run_experiment):
+    result = run_experiment("table_5_3")
+    rows = {row[0]: dict(zip(("pPIM", "DRISA", "UPMEM"), row[1:]))
+            for row in result.rows}
+
+    assert rows["OPs per PE"] == {"pPIM": 16, "DRISA": 65536, "UPMEM": 32000}
+    assert rows["Local Ops"]["DRISA"] == 2147483648
+
+    for name, paper in PAPER_TMEM.items():
+        assert rows["Tmem (s)"][name] == pytest.approx(paper, rel=0.01)
+
+    for name, paper in PAPER_TOTALS.items():
+        assert rows["Ttot = Tmem + Tcomp (s)"][name] == pytest.approx(
+            paper, rel=0.01
+        )

@@ -1,0 +1,32 @@
+"""Table 5.4 / Fig. 5.7: cross-PIM CNN benchmarking.
+
+Every latency and throughput cell must land within 1% of the published
+table, and the Section 5.4.1 qualitative conclusions must hold.
+"""
+
+import pytest
+
+from repro.pimmodel.benchmarking import PAPER_TABLE_5_4
+
+
+def bench_table_5_4(run_experiment):
+    result = run_experiment("table_5_4")
+    for row in result.rows:
+        (name, _, _, ebnn_lat, ebnn_tpw, ebnn_tpa,
+         yolo_lat, yolo_tpw, yolo_tpa, *_) = row
+        paper = PAPER_TABLE_5_4[name]
+        assert ebnn_lat == pytest.approx(paper["ebnn_latency_s"], rel=0.01)
+        assert ebnn_tpw == pytest.approx(paper["ebnn_tpw"], rel=0.01)
+        assert ebnn_tpa == pytest.approx(paper["ebnn_tpa"], rel=0.01)
+        assert yolo_lat == pytest.approx(paper["yolo_latency_s"], rel=0.01)
+        assert yolo_tpw == pytest.approx(paper["yolo_tpw"], rel=0.01)
+        assert yolo_tpa == pytest.approx(paper["yolo_tpa"], rel=0.01)
+
+    # Fig. 5.7 conclusions
+    by_name = {row[0]: row for row in result.rows}
+    powers = {name: row[1] for name, row in by_name.items()}
+    assert min(powers, key=powers.get) == "UPMEM"        # lowest power
+    ebnn_tpw = {name: row[4] for name, row in by_name.items()}
+    assert max(ebnn_tpw, key=ebnn_tpw.get) in ("LACC", "pPIM")
+    ebnn_tpa = {name: row[5] for name, row in by_name.items()}
+    assert max(ebnn_tpa, key=ebnn_tpa.get) == "SCOPE-Vanilla"

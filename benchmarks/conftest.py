@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact through its experiment
+driver, prints the same rows the paper reports (so ``pytest benchmarks/
+--benchmark-only -s`` doubles as a reproduction report), and asserts the
+headline agreement documented in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import experiments
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment driver and print its rendered table."""
+
+    def runner(experiment_id: str):
+        result = benchmark(experiments.run, experiment_id)
+        print()
+        print(result.render())
+        return result
+
+    return runner

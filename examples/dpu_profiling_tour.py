@@ -1,0 +1,64 @@
+"""A tour of the DPU profiling instruments (paper Chapter 3).
+
+Reproduces, interactively, the three measurements the thesis builds its
+methodology on:
+
+1. the perfcounter bracket around single operations (Fig. 3.1/Table 3.1),
+2. the MRAM access cost law (Eq. 3.4),
+3. the subroutine occurrence profile of an fp-heavy program (Fig. 3.2).
+
+Run:  python examples/dpu_profiling_tour.py
+"""
+
+from repro.dpu import microbench
+from repro.dpu.costs import (
+    Operation,
+    Precision,
+    TABLE_3_1_MEASURED,
+    mram_access_cycles,
+)
+
+
+def perfcounter_measurements() -> None:
+    print("=== Table 3.1: perfcounter measurements on the simulated DPU ===")
+    print(f"{'precision':24s} {'op':4s} {'paper':>7s} {'sim':>7s} {'delta':>6s}")
+    for precision in (
+        Precision.FIXED_8, Precision.FIXED_16,
+        Precision.FIXED_32, Precision.FLOAT_32,
+    ):
+        for operation in (Operation.ADD, Operation.MUL,
+                          Operation.SUB, Operation.DIV):
+            paper = TABLE_3_1_MEASURED[(operation, precision)]
+            sim = microbench.measure_operation_cycles(operation, precision)
+            print(f"{precision.value:24s} {operation.value:4s} "
+                  f"{paper:7d} {sim:7d} {sim - paper:+6d}")
+    print()
+
+
+def mram_cost_law() -> None:
+    print("=== Eq. 3.4: MRAM access cycles = 25 + bytes/2 ===")
+    for size in (8, 64, 512, 2048):
+        cycles = mram_access_cycles(size)
+        print(f"  {size:5d} bytes -> {cycles:5d} cycles "
+              f"({cycles / size:.2f} cycles/byte)")
+    print("  amortization is why kernels stage 2048-byte transfers\n")
+
+
+def subroutine_profile() -> None:
+    print("=== Fig. 3.2: #occ profile of an fp-heavy DPU program ===")
+    result = microbench.run_float_profile(n_elements=16)
+    print(f"{'subroutine':14s} {'#occ':>5s} {'cycles@1 tasklet':>18s}")
+    for name, occurrences in result.profile.as_rows():
+        record = result.profile.records[name]
+        print(f"{name:14s} {occurrences:5d} "
+              f"{record.cycles_single_tasklet():18d}")
+    print(f"\nprogram total: {result.cycles:.0f} cycles, "
+          f"{result.instructions_retired} instructions retired")
+    print("conclusion (Section 3.3.1): keep high-precision computation "
+          "off the DPU — which is what the Chapter 4 LUT transform does")
+
+
+if __name__ == "__main__":
+    perfcounter_measurements()
+    mram_cost_law()
+    subroutine_profile()

@@ -1,0 +1,82 @@
+"""eBNN digit classification on the PIM system (paper Section 4.1).
+
+Demonstrates the multi-image-per-DPU mapping scheme end to end:
+
+* synthesizes a batch of MNIST-like digits,
+* builds the Algorithm 1 LUT on the host (removing the float BN+BinAct
+  from the DPU),
+* bit-packs and scatters 16 images per DPU, launches 16 tasklets,
+* classifies the returned binary features with the host-side softmax,
+* and compares timing/profiles against the float-BN variant and the
+  Xeon CPU baseline.
+
+Run:  python examples/ebnn_mnist.py
+"""
+
+import numpy as np
+
+from repro.baselines.cpu import CpuBaseline, XeonModel, dpu_speedup_curve
+from repro.core.mapping_ebnn import EbnnPimRunner, IMAGES_PER_DPU
+from repro.datasets import generate_batch
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.dpu.costs import OptLevel
+from repro.host.runtime import DpuSystem
+from repro.nn.models.ebnn import EbnnModel
+
+N_IMAGES = 64
+
+
+def main() -> None:
+    model = EbnnModel()
+    batch = generate_batch(N_IMAGES, seed=7)
+    images = batch.normalized()
+    system = DpuSystem(UPMEM_ATTRIBUTES.scaled(8))
+
+    print(f"eBNN: {model.config.filters} filters, "
+          f"{model.config.image_size}x{model.config.image_size} inputs, "
+          f"{IMAGES_PER_DPU} images per DPU\n")
+
+    # --- PIM execution, LUT architecture (Fig. 4.2(b)) ----------------- #
+    lut_runner = EbnnPimRunner(system, model, use_lut=True,
+                               opt_level=OptLevel.O3)
+    lut_result = lut_runner.run(images)
+    print(f"LUT architecture: {lut_result.n_dpus} DPUs, "
+          f"DPU time {lut_result.dpu_seconds * 1e3:.2f} ms, "
+          f"{lut_result.seconds_per_image * 1e3:.3f} ms/image")
+    print(f"  subroutines on the DPU: "
+          f"{', '.join(sorted(lut_result.profile.records)) or '(none)'}")
+
+    # --- PIM execution, float BN on the DPU (Fig. 4.2(a)) -------------- #
+    float_runner = EbnnPimRunner(system, model, use_lut=False,
+                                 opt_level=OptLevel.O3)
+    float_result = float_runner.run(images)
+    print(f"float BN+BinAct:  DPU time {float_result.dpu_seconds * 1e3:.2f} ms "
+          f"({float_result.dpu_seconds / lut_result.dpu_seconds:.2f}x slower)")
+    print(f"  float subroutines on the DPU: "
+          f"{', '.join(float_result.profile.float_subroutine_names())}")
+
+    # --- functional equivalence ---------------------------------------- #
+    cpu = CpuBaseline(model)
+    reference = cpu.predict_batch(images)
+    assert np.array_equal(lut_result.predictions, reference)
+    assert np.array_equal(float_result.predictions, reference)
+    agreement = float(np.mean(lut_result.predictions == batch.labels))
+    print(f"\nPIM == CPU baseline on all {N_IMAGES} images "
+          f"(untrained synthetic weights; {agreement:.0%} label agreement "
+          f"is not a trained-accuracy claim)")
+
+    # --- CPU comparison (Fig. 4.7(c)) ----------------------------------- #
+    xeon = XeonModel()
+    cpu_image_s = xeon.ebnn_image_seconds(model.config)
+    dpu_image_s = lut_result.dpu_seconds / lut_result.n_images * lut_result.n_dpus
+    print(f"\nXeon model: {cpu_image_s * 1e6:.1f} us/image; one DPU: "
+          f"{dpu_image_s * 1e6:.1f} us/image")
+    print("speedup over the CPU as DPUs scale (linear, Fig. 4.7(c)):")
+    for count, speedup in dpu_speedup_curve(
+        cpu_image_s, dpu_image_s, [1, 64, 512, 2560]
+    ):
+        print(f"  {count:5d} DPUs -> {speedup:8.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Cross-PIM comparison with the Chapter 5 analytical model.
+
+Uses the generic model (Eqs. 5.1-5.10) to compare UPMEM against the
+theoretical PIM architectures the thesis surveys — pPIM, DRISA, SCOPE,
+LACC — on CNN inference, and explores the operand-width crossover of
+Fig. 5.6 plus a custom what-if architecture.
+
+Run:  python examples/pim_model_comparison.py
+"""
+
+from repro.pimmodel import (
+    ALEXNET,
+    EBNN,
+    YOLOV3,
+    PimArchitecture,
+    analytical_latency,
+    alexnet_total_times,
+    fig_5_6_comparison,
+    table_5_4,
+)
+from repro.pimmodel.benchmarking import benchmark_row
+
+
+def headline_table() -> None:
+    print("=== Table 5.4: eBNN / YOLOv3 across seven PIMs (8-bit) ===")
+    print(f"{'architecture':16s} {'eBNN s':>10s} {'YOLO s':>10s} "
+          f"{'eBNN fps/W':>12s} {'YOLO fps/W':>12s}")
+    for row in table_5_4():
+        print(f"{row.architecture:16s} {row.ebnn_latency_s:10.2e} "
+              f"{row.yolo_latency_s:10.2e} "
+              f"{row.ebnn_throughput_per_watt:12.2e} "
+              f"{row.yolo_throughput_per_watt:12.2e}")
+    print()
+
+
+def crossover() -> None:
+    print("=== Fig. 5.6: who wins at which operand width ===")
+    comparison = fig_5_6_comparison()
+    for bits in (4, 8, 16, 32):
+        cycles = {name: comparison[name][bits] for name in comparison}
+        winner = min(cycles, key=cycles.get)
+        line = "  ".join(f"{n}={c:>7.0f}" for n, c in cycles.items())
+        print(f"  {bits:2d}-bit: {line}   -> {winner}")
+    print("  (LUT designs blow up with width; UPMEM's subroutines take "
+          "over at 32 bits)\n")
+
+
+def memory_model() -> None:
+    print("=== Eq. 5.1 totals for 8-bit AlexNet (compute + memory) ===")
+    for name, total in alexnet_total_times().items():
+        print(f"  {name:6s}: {total:.3e} s")
+    print()
+
+
+def what_if() -> None:
+    print("=== what-if: a hypothetical 1 GHz, 8192-PE LUT PIM ===")
+    custom = PimArchitecture(
+        name="HYPO-LUT",
+        category="lut",
+        power_chip_w=12.0,
+        area_chip_mm2=80.0,
+        n_pes=8192,
+        frequency_hz=1.0e9,
+        mac_cycles_8bit=8,
+    )
+    for workload in (EBNN, ALEXNET, YOLOV3):
+        latency = analytical_latency(custom, workload)
+        print(f"  {workload.name:8s}: {latency:.3e} s")
+    row = benchmark_row(custom)
+    print(f"  eBNN throughput: {row.ebnn_throughput_per_watt:.2e} fps/W, "
+          f"{row.ebnn_throughput_per_mm2:.2e} fps/mm^2")
+    print("  (plug your own architecture parameters into "
+          "repro.pimmodel.PimArchitecture)")
+
+
+if __name__ == "__main__":
+    headline_table()
+    crossover()
+    memory_model()
+    what_if()

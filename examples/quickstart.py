@@ -1,0 +1,91 @@
+"""Quickstart: your first program on the simulated UPMEM system.
+
+Walks the full host/DPU workflow the UPMEM SDK teaches, on the simulator:
+
+1. allocate a DPU set (``dpu_alloc``),
+2. load a small assembly program (``dpu_load``) that sums an int32 array
+   staged from MRAM into WRAM over multiple tasklets,
+3. scatter per-DPU data (``dpu_prepare_xfer`` / ``dpu_push_xfer``),
+4. launch and read results back.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.dpu.assembler import assemble
+from repro.dpu.device import DpuImage, Symbol
+from repro.host.runtime import DpuSystem
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+
+#: Each DPU sums this many int32 values.
+N_VALUES = 256
+
+# The DPU program: tasklet 0 DMAs the input from MRAM to WRAM, then every
+# tasklet sums a strided share and stores its partial at WRAM[2048 + 4*tid].
+SUM_PROGRAM = """
+        tid  r1                  # which tasklet am I?
+        bne  r1, r0, compute     # only tasklet 0 stages the data
+        li   r2, 0               # WRAM destination
+        li   r3, 0               # MRAM source (symbol "input" at 0)
+        ldma r2, r3, 1024        # 256 x int32 = 1024 bytes, one transfer
+compute:
+        tid  r1
+        lsli r4, r1, 2           # byte offset of this tasklet's first item
+        li   r5, 0               # accumulator
+        li   r6, 1024            # end of the array in WRAM
+loop:
+        bge  r4, r6, done
+        lw   r7, r4, 0           # load input[i]
+        add  r5, r5, r7
+        addi r4, r4, 64          # stride = 16 tasklets x 4 bytes
+        j    loop
+done:
+        tid  r1
+        lsli r4, r1, 2
+        li   r8, 2048
+        add  r4, r4, r8          # partials live at WRAM[2048 + 4*tid]
+        sw   r5, r4, 0
+        halt
+"""
+
+
+def main() -> None:
+    # A small instance of the 2560-DPU server is plenty for a demo.
+    system = DpuSystem(UPMEM_ATTRIBUTES.scaled(4))
+    dpu_set = system.allocate(4)
+    print(f"allocated {len(dpu_set)} DPUs "
+          f"(system has {system.n_dpus}, {system.n_free} now free)")
+
+    image = DpuImage(
+        name="quickstart_sum",
+        program=assemble(SUM_PROGRAM, name="sum"),
+        symbols={"input": Symbol("input", 0, 4 * N_VALUES)},
+    )
+    dpu_set.load(image)
+
+    # A different array for every DPU (the prepare/push scatter pattern).
+    rng = np.random.default_rng(0)
+    arrays = [
+        rng.integers(0, 1000, N_VALUES).astype(np.int32) for _ in dpu_set
+    ]
+    dpu_set.scatter("input", arrays)
+
+    report = dpu_set.launch(n_tasklets=16)
+    print(f"launch finished in {report.cycles:.0f} DPU cycles "
+          f"({report.seconds * 1e6:.1f} us at 350 MHz)")
+
+    for i, dpu in enumerate(dpu_set):
+        partials = dpu.wram.read_array(2048, np.int32, 16)
+        total = int(partials.sum())
+        expected = int(arrays[i].sum())
+        status = "OK" if total == expected else "MISMATCH"
+        print(f"  dpu{i}: sum={total} expected={expected}  [{status}]")
+        assert total == expected
+
+    system.free(dpu_set)
+    print("done — see examples/ebnn_mnist.py for a real CNN workload")
+
+
+if __name__ == "__main__":
+    main()

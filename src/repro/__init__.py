@@ -1,0 +1,25 @@
+"""repro: a reproduction of Das, "Implementation and Evaluation of Deep
+Neural Networks in Commercially Available Processing in Memory Hardware"
+(RIT, 2022).
+
+The package provides four layers, each importable on its own:
+
+* :mod:`repro.dpu` / :mod:`repro.host` — a simulated UPMEM PIM platform
+  (DPU microarchitecture, memories, toolchain stand-ins, host SDK).
+* :mod:`repro.nn` / :mod:`repro.datasets` — the CNN substrate: quantized
+  GEMM/conv layers, eBNN and YOLOv3 models, synthetic datasets.
+* :mod:`repro.core` — the paper's contribution: CNN-to-DPU mapping schemes
+  (multi-image eBNN, GEMM-row YOLOv3) and the Algorithm 1 LUT transform.
+* :mod:`repro.pimmodel` — the Chapter 5 analytical cross-PIM performance
+  model with its architecture registry.
+
+``repro.experiments`` regenerates every table and figure of the paper;
+see DESIGN.md for the experiment index and EXPERIMENTS.md for
+paper-vs-reproduction numbers.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

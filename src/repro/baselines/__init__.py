@@ -1,0 +1,15 @@
+"""Baselines the paper compares against (Intel Xeon CPU)."""
+
+from repro.baselines.cpu import (
+    IMAGES_RESIDENT_PER_DPU,
+    CpuBaseline,
+    XeonModel,
+    dpu_speedup_curve,
+)
+
+__all__ = [
+    "IMAGES_RESIDENT_PER_DPU",
+    "CpuBaseline",
+    "XeonModel",
+    "dpu_speedup_curve",
+]

@@ -1,0 +1,91 @@
+"""The CPU baseline: an Intel Xeon class comparator (Fig. 4.7(c)).
+
+The thesis compares the fully parallel DPU system against a single Intel
+Xeon CPU on the eBNN workload and finds the PIM speedup grows linearly
+with the DPU count.  This module provides
+
+* a functional CPU execution path (the same numpy reference model —
+  this is literally what a CPU does), and
+* a parameterized Xeon latency model, so the speedup curve is
+  deterministic and documented rather than host-machine-dependent.
+
+The latency model: a Xeon core retires ``ops_per_cycle`` eBNN binary-MAC
+equivalents per cycle at ``frequency_hz``; one inference costs the model's
+operation count plus a fixed per-image overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.nn.models.ebnn import EbnnConfig, EbnnModel
+
+
+@dataclass(frozen=True)
+class XeonModel:
+    """Latency model of the baseline CPU."""
+
+    frequency_hz: float = 2.4e9
+    ops_per_cycle: float = 4.0       # SIMD-assisted binary MACs per cycle
+    per_image_overhead_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0 or self.ops_per_cycle <= 0:
+            raise WorkloadError("Xeon model parameters must be positive")
+        if self.per_image_overhead_s < 0:
+            raise WorkloadError("negative per-image overhead")
+
+    def ebnn_image_seconds(self, config: EbnnConfig) -> float:
+        """Single-image eBNN inference latency on the CPU."""
+        ops = config.conv_macs_per_image() + 8 * config.bn_outputs_per_image()
+        return ops / (self.ops_per_cycle * self.frequency_hz) + self.per_image_overhead_s
+
+    def ebnn_batch_seconds(self, config: EbnnConfig, n_images: int) -> float:
+        """Serial batch latency (the single-CPU comparison of Fig. 4.7(c))."""
+        if n_images < 1:
+            raise WorkloadError(f"need at least one image, got {n_images}")
+        return n_images * self.ebnn_image_seconds(config)
+
+
+class CpuBaseline:
+    """Functional + modeled CPU execution of eBNN."""
+
+    def __init__(self, model: EbnnModel, xeon: XeonModel | None = None) -> None:
+        self.model = model
+        self.xeon = xeon or XeonModel()
+
+    def predict_batch(self, images: np.ndarray) -> np.ndarray:
+        """Run the reference inference (what the Xeon computes)."""
+        return self.model.predict_batch(images)
+
+    def batch_seconds(self, n_images: int) -> float:
+        return self.xeon.ebnn_batch_seconds(self.model.config, n_images)
+
+
+def dpu_speedup_curve(
+    cpu_image_seconds: float,
+    dpu_image_seconds: float,
+    dpu_counts: list[int],
+) -> list[tuple[int, float]]:
+    """Fig. 4.7(c): speedup over the CPU as DPUs are added.
+
+    Every DPU serves images independently, so system throughput — and the
+    speedup over one CPU — scales linearly in the DPU count.
+    """
+    if cpu_image_seconds <= 0 or dpu_image_seconds <= 0:
+        raise WorkloadError("latencies must be positive")
+    per_dpu_ratio = cpu_image_seconds / dpu_image_seconds
+    curve = []
+    for count in dpu_counts:
+        if count < 1:
+            raise WorkloadError(f"bad DPU count {count}")
+        curve.append((count, count * per_dpu_ratio))
+    return curve
+
+
+#: Images one DPU can hold resident in MRAM (Section 4.3.2: 316800 images
+#: of 28x28 fit alongside the program's buffers in 64 MB).
+IMAGES_RESIDENT_PER_DPU = 316_800

@@ -1,0 +1,121 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro list                 # enumerate available experiments
+    repro run table_5_4        # regenerate one artifact
+    repro run all              # regenerate every artifact
+    repro attributes           # print the platform sheet (Table 2.1)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import experiments
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Implementation and Evaluation of Deep Neural "
+            "Networks in Commercially Available Processing in Memory "
+            "Hardware' (Das, 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (see 'repro list'), or 'all'",
+    )
+
+    sub.add_parser("attributes", help="print the UPMEM platform attributes")
+
+    plan_parser = sub.add_parser(
+        "plan", help="auto-map a network onto the PIM system"
+    )
+    plan_parser.add_argument("network", choices=["ebnn", "yolov3"])
+    plan_parser.add_argument(
+        "--input-size", type=int, default=416,
+        help="YOLOv3 input resolution (multiple of 32)",
+    )
+    plan_parser.add_argument(
+        "--width-scale", type=float, default=1.0,
+        help="YOLOv3 channel width multiplier",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report_parser.add_argument(
+        "path", nargs="?", default="REPRODUCTION_REPORT.md",
+        help="output file (default: REPRODUCTION_REPORT.md)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiments.available():
+            print(experiment_id)
+        return 0
+    if args.command == "attributes":
+        for name, value in UPMEM_ATTRIBUTES.as_table():
+            print(f"{name}: {value}")
+        return 0
+    if args.command == "run":
+        ids = (
+            experiments.available()
+            if args.experiment == "all"
+            else [args.experiment]
+        )
+        for experiment_id in ids:
+            print(experiments.run(experiment_id).render())
+            print()
+        return 0
+    if args.command == "plan":
+        return _plan(args)
+    if args.command == "report":
+        from repro.experiments.report import write_report
+
+        count = write_report(args.path)
+        print(f"wrote {count} experiments to {args.path}")
+        return 0
+    return 1  # pragma: no cover - argparse enforces the command set
+
+
+def _plan(args) -> int:
+    """Run the mapping planner and print its decisions."""
+    from repro.core.planner import MappingPlanner
+    from repro.nn.models.darknet import Yolov3Model
+    from repro.nn.models.ebnn import EbnnConfig
+
+    planner = MappingPlanner()
+    if args.network == "ebnn":
+        plan = planner.plan_auto(EbnnConfig())
+    else:
+        plan = planner.plan_auto(
+            Yolov3Model(args.input_size, width_scale=args.width_scale)
+        )
+    print(f"plan for {args.network}: {len(plan.decisions)} mapped stages, "
+          f"peak {plan.peak_dpus} DPUs, "
+          f"estimated latency {plan.total_seconds:.4g} s")
+    for decision in plan.decisions[:10]:
+        print(f"  {decision.layer_name:12s} {decision.scheme.value:22s} "
+              f"{decision.n_dpus:5d} DPUs  {decision.n_tasklets:2d} tasklets")
+        print(f"    {decision.rationale}")
+    if len(plan.decisions) > 10:
+        print(f"  ... {len(plan.decisions) - 10} more stages")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""The paper's primary contribution: CNN-to-UPMEM mapping and orchestration."""
+
+from repro.core.lut import LookupTable, create_lut, lut_matches_float_path
+from repro.core.mapping_ebnn import (
+    EBNN_TASKLETS,
+    IMAGES_PER_DPU,
+    EbnnDpuLayout,
+    EbnnPimRunner,
+    EbnnRunResult,
+    charge_ebnn_costs,
+    ebnn_dpu_cycles,
+    ebnn_image_latency_seconds,
+)
+from repro.core.mapping_yolo import (
+    YOLO_TASKLETS,
+    AccumulatorPolicy,
+    YoloDpuLayout,
+    YoloNetworkTiming,
+    YoloPimRunner,
+    charge_gemm_row_costs,
+    gemm_layer_cycles,
+    yolo_network_timing,
+)
+from repro.core.planner import (
+    LayerDecision,
+    MappingPlan,
+    MappingPlanner,
+    Scheme,
+)
+from repro.core.offload import (
+    FunctionProfile,
+    OffloadPlan,
+    ebnn_application_profile,
+    partition,
+    yolo_application_profile,
+)
+from repro.core.timing import (
+    HOST_LINK_BYTES_PER_SECOND,
+    LatencyBreakdown,
+    breakdown_from_cycles,
+    speedup,
+    transfer_seconds,
+)
+
+__all__ = [
+    "LookupTable",
+    "create_lut",
+    "lut_matches_float_path",
+    "EBNN_TASKLETS",
+    "IMAGES_PER_DPU",
+    "EbnnDpuLayout",
+    "EbnnPimRunner",
+    "EbnnRunResult",
+    "charge_ebnn_costs",
+    "ebnn_dpu_cycles",
+    "ebnn_image_latency_seconds",
+    "YOLO_TASKLETS",
+    "AccumulatorPolicy",
+    "YoloDpuLayout",
+    "YoloNetworkTiming",
+    "YoloPimRunner",
+    "charge_gemm_row_costs",
+    "gemm_layer_cycles",
+    "yolo_network_timing",
+    "LayerDecision",
+    "MappingPlan",
+    "MappingPlanner",
+    "Scheme",
+    "FunctionProfile",
+    "OffloadPlan",
+    "ebnn_application_profile",
+    "partition",
+    "yolo_application_profile",
+    "HOST_LINK_BYTES_PER_SECOND",
+    "LatencyBreakdown",
+    "breakdown_from_cycles",
+    "speedup",
+    "transfer_seconds",
+]

@@ -1,0 +1,430 @@
+"""The eBNN mapping scheme: multiple images per DPU (Section 4.1).
+
+Scheme summary (Sections 4.1.3-4.1.4):
+
+* Images are binarized and bit-packed (a 28x28 image is 98 bytes, padded
+  to 104); **16 images** are staged per DPU because one MRAM->WRAM DMA
+  transfer is capped at 2048 bytes (16 x 104 = 1664).
+* Each tasklet processes whole images, so 16 tasklets saturate the
+  16-image batch (the Fig. 4.7(a) shape).
+* The conv-pool block runs on the DPU; BN + BinAct either runs in floating
+  point on the DPU (the slow Fig. 4.2(a) path) or is replaced by the
+  host-built Algorithm 1 LUT (Fig. 4.2(b)); the binary temporaries return
+  to the host, which runs the FC + Softmax classifier.
+* The batch's image buffer is divided by images-per-DPU to choose the DPU
+  count; all chosen DPUs run in parallel, so a full batch finishes in the
+  time of one DPU (Section 4.1.3).
+
+The cost recipe (:func:`charge_ebnn_costs`) is the single source of truth
+for eBNN DPU cycles: the functional kernel and the closed-form sweeps both
+charge through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lut import LookupTable, create_lut
+from repro.dpu.attributes import UpmemAttributes
+from repro.dpu.costs import Operation, OptLevel, Precision
+from repro.dpu.kernel import GLOBAL_KERNELS, KernelContext
+from repro.dpu.device import DpuImage
+from repro.dpu.profiler import SubroutineProfile
+from repro.errors import MappingError
+from repro.host.alignment import align_up
+from repro.host.runtime import DpuSystem, LaunchReport  # noqa: F401 (waves)
+from repro.nn.binary import (
+    MNIST_PACKED_PADDED_BYTES,
+    pack_bits,
+    pack_image,
+    unpack_bits,
+    unpack_image,
+)
+from repro.nn.models.ebnn import EbnnConfig, EbnnModel
+
+#: The per-DPU image batch the paper uses (Section 4.1.3).
+IMAGES_PER_DPU = 16
+
+#: Tasklets the paper settles on for eBNN (one per staged image).
+EBNN_TASKLETS = 16
+
+#: Extra plain instructions accompanying each conv MAC beyond the address
+#: multiply: two WRAM loads, the XNOR/accumulate pair, and loop overhead.
+_CONV_EXTRA_INSTR_PER_MAC = 7
+
+#: Plain instructions per max-pool output (4 loads, 3 compares, addressing).
+_POOL_INSTR_PER_OUTPUT = 9
+
+#: Plain instructions per LUT lookup beyond its address arithmetic.
+_LUT_EXTRA_INSTR = 4
+
+
+@dataclass(frozen=True)
+class EbnnDpuLayout:
+    """MRAM symbol layout shared by host and kernel."""
+
+    config: EbnnConfig
+    images_per_dpu: int = IMAGES_PER_DPU
+
+    @property
+    def image_bytes(self) -> int:
+        """Padded packed bytes of one binarized image."""
+        packed = -(-self.config.image_size**2 // 8)
+        return align_up(packed)
+
+    @property
+    def images_bytes(self) -> int:
+        return self.images_per_dpu * self.image_bytes
+
+    @property
+    def result_bytes_per_image(self) -> int:
+        """Padded packed bytes of one image's binary feature tensor."""
+        bits = self.config.feature_count
+        return align_up(-(-bits // 8))
+
+    @property
+    def results_bytes(self) -> int:
+        return self.images_per_dpu * self.result_bytes_per_image
+
+    @property
+    def lut_bytes(self) -> int:
+        lo, hi = self.config.conv_range
+        return align_up((hi - lo + 1) * self.config.filters)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Packed binary conv weights (one bit per tap)."""
+        bits = self.config.filters * self.config.kernel**2
+        return align_up(-(-bits // 8))
+
+    def build_image(self, name: str = "ebnn") -> DpuImage:
+        return DpuImage.from_symbol_layout(
+            name,
+            kernel_name="ebnn_conv_pool",
+            layout=[
+                ("images", self.images_bytes),
+                ("results", self.results_bytes),
+                ("lut", self.lut_bytes),
+                ("weights", self.weight_bytes),
+                ("meta", 8),  # actual image count (the padded-size protocol)
+            ],
+        )
+
+
+def charge_ebnn_costs(
+    ctx: KernelContext,
+    config: EbnnConfig,
+    layout: EbnnDpuLayout,
+    n_images: int,
+    *,
+    use_lut: bool,
+) -> None:
+    """Charge the DPU cost of conv-pool(+BN/BinAct) for ``n_images``.
+
+    -O0 array indexing performs a 32-bit multiply per element access (the
+    ``__mulsi3`` Fig. 4.3(b) shows surviving even the LUT transformation);
+    the float path charges the full BN+BinAct subroutine chain per pooled
+    value, the mix Fig. 4.3(a) profiles.
+    """
+    conv_macs = n_images * config.conv_macs_per_image()
+    pooled = n_images * config.bn_outputs_per_image()
+
+    # Staging DMA: images arrive in one transfer per 2048-byte window.
+    ctx.charge_streamed_dma(n_images * layout.image_bytes)
+    ctx.charge_streamed_dma(layout.weight_bytes)
+
+    # Convolution + pooling (both paths).  At -O0 every array access pays a
+    # __mulsi3 index multiply (the subroutine Fig. 4.3(b) shows surviving);
+    # -O3 strength-reduces indexing into induction variables.
+    unoptimized = ctx.opt_level is OptLevel.O0
+    if unoptimized:
+        ctx.charge_call("__mulsi3", conv_macs)
+    ctx.charge_instructions(_CONV_EXTRA_INSTR_PER_MAC * conv_macs)
+    ctx.charge_instructions(_POOL_INSTR_PER_OUTPUT * pooled)
+
+    if use_lut:
+        # One LUT staging transfer, then a lookup per pooled value.
+        ctx.charge_streamed_dma(layout.lut_bytes)
+        if unoptimized:
+            ctx.charge_call("__mulsi3", pooled)   # flat-index multiply
+            ctx.charge_call("__muldi3", pooled)   # 64-bit address formation
+        ctx.charge_instructions(_LUT_EXTRA_INSTR * pooled)
+    else:
+        # Fig. 4.2(a): the float BN + BinAct chain per pooled value.
+        ctx.charge_call("__floatsisf", pooled)            # int -> float
+        ctx.charge_op(Operation.ADD, Precision.FLOAT_32, 2 * pooled)  # +W0, +W4
+        ctx.charge_op(Operation.SUB, Precision.FLOAT_32, pooled)      # -W1
+        ctx.charge_op(Operation.DIV, Precision.FLOAT_32, pooled)      # /W2
+        ctx.charge_op(Operation.MUL, Precision.FLOAT_32, pooled)      # *W3
+        ctx.charge_call("__gesf2", pooled)                # BinAct >= 0
+        ctx.charge_call("__ltsf2", pooled)                # saturation guard
+        ctx.charge_call("__fixsfsi", pooled)              # float -> int bit
+        if unoptimized:
+            ctx.charge_call("__mulsi3", pooled)           # indexing
+            ctx.charge_call("__muldi3", pooled)           # 64-bit addressing
+
+    # Result write-back.
+    ctx.charge_streamed_dma(n_images * layout.result_bytes_per_image)
+    ctx.set_work_units(n_images)
+
+
+@GLOBAL_KERNELS.register("ebnn_conv_pool")
+def ebnn_conv_pool_kernel(
+    ctx: KernelContext,
+    *,
+    model: EbnnModel,
+    layout: EbnnDpuLayout,
+    use_lut: bool,
+) -> None:
+    """The DPU program of the eBNN scheme (functional + cycle-charged).
+
+    Reads packed images and the image count from MRAM, computes binary
+    features (via the LUT read back from MRAM, or the float BN path), and
+    writes packed feature bits to the ``results`` symbol.
+    """
+    config = model.config
+    n_images = int(ctx.read_symbol_array("meta", np.uint32, 1)[0])
+    if not 1 <= n_images <= layout.images_per_dpu:
+        raise MappingError(
+            f"DPU metadata declares {n_images} images; layout holds "
+            f"up to {layout.images_per_dpu}"
+        )
+
+    lut = None
+    if use_lut:
+        lo, hi = config.conv_range
+        raw = bytes(
+            ctx.read_symbol_array("lut", np.uint8, layout.lut_bytes).tobytes()
+        )
+        lut = LookupTable.from_bytes(raw, lo, hi, config.filters)
+
+    for index in range(n_images):
+        raw = bytes(
+            ctx.read_symbol_array(
+                "images", np.uint8, layout.image_bytes,
+                offset=index * layout.image_bytes,
+            ).tobytes()
+        )
+        signs = unpack_image(raw, config.image_size, config.image_size)
+        # conv_pool binarizes >= 0.5; feed {0,1} so signs survive unchanged.
+        pooled = model.conv_pool((signs > 0).astype(np.float32))
+        if use_lut:
+            bits = lut.lookup_all(pooled)
+        else:
+            bits = model.bn_binact_float(pooled)
+        packed = pack_bits(bits.reshape(-1).astype(np.uint8))
+        padded = packed + bytes(layout.result_bytes_per_image - len(packed))
+        ctx.write_symbol_array(
+            "results",
+            np.frombuffer(padded, dtype=np.uint8),
+            offset=index * layout.result_bytes_per_image,
+        )
+
+    charge_ebnn_costs(ctx, config, layout, n_images, use_lut=use_lut)
+
+
+@dataclass
+class EbnnRunResult:
+    """Outcome of one batched eBNN inference on the PIM system."""
+
+    predictions: np.ndarray
+    dpu_report: LaunchReport
+    n_dpus: int
+    n_images: int
+    profile: SubroutineProfile
+    host_seconds: float
+
+    @property
+    def dpu_seconds(self) -> float:
+        return self.dpu_report.seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.dpu_seconds + self.host_seconds
+
+    @property
+    def seconds_per_image(self) -> float:
+        return self.total_seconds / self.n_images
+
+
+class EbnnPimRunner:
+    """Host orchestration of the multi-image-per-DPU eBNN scheme."""
+
+    #: Host-side FC+softmax time per image (a Xeon-class constant; the
+    #: host overlaps this with nothing in the thesis's serial read-out).
+    HOST_SECONDS_PER_IMAGE = 2.0e-6
+
+    def __init__(
+        self,
+        system: DpuSystem,
+        model: EbnnModel,
+        *,
+        use_lut: bool = True,
+        images_per_dpu: int = IMAGES_PER_DPU,
+        n_tasklets: int = EBNN_TASKLETS,
+        opt_level: OptLevel = OptLevel.O3,
+    ) -> None:
+        if images_per_dpu < 1:
+            raise MappingError(
+                f"images_per_dpu must be >= 1, got {images_per_dpu}"
+            )
+        self.system = system
+        self.model = model
+        self.use_lut = use_lut
+        self.n_tasklets = n_tasklets
+        self.opt_level = opt_level
+        self.layout = EbnnDpuLayout(model.config, images_per_dpu)
+        staged = images_per_dpu * self.layout.image_bytes
+        if staged > 2048:
+            raise MappingError(
+                f"{images_per_dpu} images need {staged} bytes of staging; "
+                f"the DMA transfer cap is 2048 (Section 4.1.3)"
+            )
+        self.lut = (
+            create_lut(model.bn, *model.config.conv_range) if use_lut else None
+        )
+
+    def run(self, images: np.ndarray) -> EbnnRunResult:
+        """Classify a (n, H, W) batch through the PIM system.
+
+        Batches larger than the system's capacity execute in waves: every
+        available DPU processes its image block, results are gathered,
+        and the next wave launches — total time is the sum of the waves.
+        """
+        n_images = images.shape[0]
+        if n_images < 1:
+            raise MappingError("empty image batch")
+        per_dpu = self.layout.images_per_dpu
+        n_dpus = self.system.dpus_needed_for(n_images, per_dpu)
+        wave_capacity = n_dpus * per_dpu
+
+        dpu_set = self.system.allocate(n_dpus)
+        try:
+            waves = [
+                self._run_on(dpu_set, images[start : start + wave_capacity])
+                for start in range(0, n_images, wave_capacity)
+            ]
+        finally:
+            self.system.free(dpu_set)
+        if len(waves) == 1:
+            return waves[0]
+        return self._merge_waves(waves)
+
+    def _merge_waves(self, waves: list["EbnnRunResult"]) -> "EbnnRunResult":
+        """Combine sequential wave results into one batch result."""
+        combined_profile = SubroutineProfile()
+        for wave in waves:
+            combined_profile = combined_profile.merged_with(wave.profile)
+        total_cycles = sum(w.dpu_report.cycles for w in waves)
+        slowest = max(waves, key=lambda w: w.dpu_report.cycles)
+        report = LaunchReport(
+            cycles=total_cycles,
+            seconds=self.system.attributes.cycles_to_seconds(total_cycles),
+            per_dpu_cycles=slowest.dpu_report.per_dpu_cycles,
+            n_dpus=slowest.dpu_report.n_dpus,
+            n_tasklets=slowest.dpu_report.n_tasklets,
+        )
+        return EbnnRunResult(
+            predictions=np.concatenate([w.predictions for w in waves]),
+            dpu_report=report,
+            n_dpus=slowest.n_dpus,
+            n_images=sum(w.n_images for w in waves),
+            profile=combined_profile,
+            host_seconds=sum(w.host_seconds for w in waves),
+        )
+
+    def _run_on(self, dpu_set, images: np.ndarray) -> EbnnRunResult:
+        layout = self.layout
+        n_images = images.shape[0]
+        per_dpu = layout.images_per_dpu
+        dpu_set.load(layout.build_image())
+
+        # Distribute packed image blocks and per-DPU counts.
+        blocks: list[bytes] = []
+        counts: list[int] = []
+        for d in range(len(dpu_set)):
+            chunk = images[d * per_dpu : (d + 1) * per_dpu]
+            packed = b"".join(
+                pack_image(img).ljust(layout.image_bytes, b"\0") for img in chunk
+            )
+            blocks.append(packed.ljust(layout.images_bytes, b"\0"))
+            counts.append(len(chunk))
+        dpu_set.scatter("images", [np.frombuffer(b, dtype=np.uint8) for b in blocks])
+        dpu_set.scatter(
+            "meta",
+            [np.array([c, 0], dtype=np.uint32) for c in counts],
+        )
+        if self.use_lut:
+            lut_raw = self.lut.to_bytes().ljust(layout.lut_bytes, b"\0")
+            dpu_set.broadcast("lut", np.frombuffer(lut_raw, dtype=np.uint8))
+
+        report = dpu_set.launch(
+            n_tasklets=self.n_tasklets,
+            opt_level=self.opt_level,
+            model=self.model,
+            layout=layout,
+            use_lut=self.use_lut,
+        )
+
+        # Serial host read-out and classification (Section 4.1.3's flow).
+        predictions = np.zeros(n_images, dtype=np.int64)
+        profile = SubroutineProfile()
+        for d, dpu in enumerate(dpu_set):
+            profile = profile.merged_with(dpu.last_result.profile)
+            for i in range(counts[d]):
+                raw = dpu.read_symbol(
+                    "results",
+                    layout.result_bytes_per_image,
+                    offset=i * layout.result_bytes_per_image,
+                )
+                bits = unpack_bits(raw, self.model.config.feature_count)
+                cfg = self.model.config
+                features = bits.reshape(cfg.filters, cfg.pooled_out, cfg.pooled_out)
+                label, _ = self.model.classify_features(features)
+                predictions[d * per_dpu + i] = label
+
+        return EbnnRunResult(
+            predictions=predictions,
+            dpu_report=report,
+            n_dpus=len(dpu_set),
+            n_images=n_images,
+            profile=profile,
+            host_seconds=self.HOST_SECONDS_PER_IMAGE * n_images,
+        )
+
+
+def ebnn_dpu_cycles(
+    config: EbnnConfig,
+    *,
+    n_images: int = IMAGES_PER_DPU,
+    n_tasklets: int = EBNN_TASKLETS,
+    opt_level: OptLevel = OptLevel.O3,
+    use_lut: bool = True,
+    images_per_dpu: int = IMAGES_PER_DPU,
+) -> float:
+    """Closed-form DPU cycles for one eBNN batch (no functional compute).
+
+    Shares :func:`charge_ebnn_costs` with the kernel, so sweeps (Figs. 4.4
+    and 4.7) and functional runs can never drift apart.
+    """
+    from repro.dpu.memory import Mram, Wram
+
+    layout = EbnnDpuLayout(config, images_per_dpu)
+    ctx = KernelContext(
+        Mram(), Wram(), n_tasklets=n_tasklets, opt_level=opt_level
+    )
+    charge_ebnn_costs(ctx, config, layout, n_images, use_lut=use_lut)
+    return ctx.elapsed_cycles()
+
+
+def ebnn_image_latency_seconds(
+    config: EbnnConfig,
+    attributes: UpmemAttributes,
+    **kwargs,
+) -> float:
+    """Per-image DPU latency in seconds for a full 16-image batch."""
+    n_images = kwargs.pop("n_images", IMAGES_PER_DPU)
+    cycles = ebnn_dpu_cycles(config, n_images=n_images, **kwargs)
+    return attributes.cycles_to_seconds(cycles) / n_images

@@ -1,0 +1,147 @@
+"""Profiling-driven host/DPU work partitioning (Sections 3.1 and 4).
+
+The paper's methodology: profile the application, identify the highly
+data-parallel, fixed-point-friendly functions (for CNNs, the convolution /
+GEMM), compile *those* for the DPUs, and keep everything else — float-heavy
+blocks, control flow, softmax — on the host.  This module captures that
+decision procedure so the mapping of a new CNN follows the same
+standardized framework the thesis presents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """Profile of one application function (what a profiler reports)."""
+
+    name: str
+    total_ops: int                 # arithmetic operations per invocation
+    data_bytes: int                # bytes touched per invocation
+    parallel_fraction: float       # share of ops that are data-parallel
+    uses_float: bool = False       # contains floating-point arithmetic
+
+    def __post_init__(self) -> None:
+        if self.total_ops < 0 or self.data_bytes < 0:
+            raise MappingError(f"negative profile counters in {self.name!r}")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise MappingError(
+                f"parallel fraction {self.parallel_fraction} of "
+                f"{self.name!r} outside [0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """Placement of one function with the reason for the choice."""
+
+    function: FunctionProfile
+    to_dpu: bool
+    reason: str
+
+
+@dataclass
+class OffloadPlan:
+    """The host/DPU split the partitioner produced."""
+
+    decisions: list[OffloadDecision] = field(default_factory=list)
+
+    @property
+    def dpu_functions(self) -> list[str]:
+        return [d.function.name for d in self.decisions if d.to_dpu]
+
+    @property
+    def host_functions(self) -> list[str]:
+        return [d.function.name for d in self.decisions if not d.to_dpu]
+
+    def offloaded_ops_fraction(self) -> float:
+        """Share of total operations the plan moves to the DPUs."""
+        total = sum(d.function.total_ops for d in self.decisions)
+        if total == 0:
+            return 0.0
+        dpu = sum(d.function.total_ops for d in self.decisions if d.to_dpu)
+        return dpu / total
+
+
+def partition(
+    functions: list[FunctionProfile],
+    *,
+    min_parallel_fraction: float = 0.8,
+    min_ops_share: float = 0.01,
+    allow_float_on_dpu: bool = False,
+) -> OffloadPlan:
+    """Decide, function by function, what runs on the DPUs.
+
+    A function is offloaded when it is overwhelmingly data-parallel and
+    carries a non-trivial share of the application's operations; functions
+    containing floating point stay on the host unless explicitly allowed
+    (Section 3.3's conclusion), which is the policy that sends the eBNN
+    BN+BinAct block host-side before the LUT transformation brings its
+    *result* back to the DPU.
+    """
+    if not functions:
+        raise MappingError("cannot partition an empty profile")
+    total_ops = sum(f.total_ops for f in functions) or 1
+    plan = OffloadPlan()
+    for fn in functions:
+        share = fn.total_ops / total_ops
+        if fn.uses_float and not allow_float_on_dpu:
+            plan.decisions.append(
+                OffloadDecision(fn, False, "floating point stays on the host")
+            )
+        elif fn.parallel_fraction < min_parallel_fraction:
+            plan.decisions.append(
+                OffloadDecision(
+                    fn, False,
+                    f"only {fn.parallel_fraction:.0%} data-parallel "
+                    f"(threshold {min_parallel_fraction:.0%})",
+                )
+            )
+        elif share < min_ops_share:
+            plan.decisions.append(
+                OffloadDecision(
+                    fn, False,
+                    f"carries {share:.2%} of operations "
+                    f"(threshold {min_ops_share:.2%})",
+                )
+            )
+        else:
+            plan.decisions.append(
+                OffloadDecision(
+                    fn, True,
+                    f"{fn.parallel_fraction:.0%} data-parallel, "
+                    f"{share:.1%} of operations",
+                )
+            )
+    return plan
+
+
+def ebnn_application_profile(
+    conv_macs: int, bn_outputs: int, classes: int = 10
+) -> list[FunctionProfile]:
+    """The function profile of the eBNN application (Section 4.1 split)."""
+    return [
+        FunctionProfile("binary_conv_pool", conv_macs, conv_macs // 4, 0.99),
+        FunctionProfile("bn_binact", 6 * bn_outputs, 4 * bn_outputs, 0.99,
+                        uses_float=True),
+        FunctionProfile("fc_softmax", 2 * classes * bn_outputs,
+                        classes * bn_outputs, 0.5, uses_float=True),
+        FunctionProfile("image_io", bn_outputs, 8 * bn_outputs, 0.1),
+    ]
+
+
+def yolo_application_profile(total_macs: int) -> list[FunctionProfile]:
+    """The function profile of the YOLOv3 application (Section 4.2 split)."""
+    return [
+        FunctionProfile("gemm", total_macs, total_macs // 2, 0.99),
+        FunctionProfile("im2col", total_macs // 100, total_macs // 8, 0.9,
+                        uses_float=True),
+        FunctionProfile("bn_activation", total_macs // 200, total_macs // 50,
+                        0.9, uses_float=True),
+        FunctionProfile("detection_decode", total_macs // 10000,
+                        total_macs // 5000, 0.3, uses_float=True),
+    ]

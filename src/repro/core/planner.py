@@ -1,0 +1,218 @@
+"""Automatic CNN-to-PIM mapping planner.
+
+The thesis maps each CNN by hand (multi-image-per-DPU for eBNN, GEMM row
+distribution for YOLOv3) and its future-work section calls for a tool
+that makes these decisions automatically, OpenCL-style (Section 6.1).
+This module is that tool: given a network's layer geometry and a platform
+description it chooses, per layer,
+
+* the **scheme** — batch whole inferences per DPU when a layer's working
+  set fits WRAM, otherwise unroll the GEMM one row per DPU,
+* the DPU count, tasklet count and accumulator regime, and
+* produces a latency estimate with a human-readable rationale,
+
+reusing the exact cost recipes of the hand mappings so the planner's
+numbers are the mappings' numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.mapping_ebnn import (
+    EBNN_TASKLETS,
+    IMAGES_PER_DPU,
+    EbnnDpuLayout,
+    ebnn_dpu_cycles,
+)
+from repro.core.mapping_yolo import (
+    YOLO_TASKLETS,
+    AccumulatorPolicy,
+    gemm_layer_cycles,
+)
+from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
+from repro.dpu.costs import OptLevel, DMA_MAX_TRANSFER_BYTES
+from repro.errors import MappingError
+from repro.nn.gemm import GemmShape
+from repro.nn.models.darknet import Yolov3Model
+from repro.nn.models.ebnn import EbnnConfig
+
+
+class Scheme(enum.Enum):
+    """The two operation-mapping schemes of Chapter 4."""
+
+    IMAGE_BATCH = "multi-image-per-dpu"    # Section 4.1
+    GEMM_ROW = "gemm-row-per-dpu"          # Section 4.2
+
+
+@dataclass(frozen=True)
+class LayerDecision:
+    """The planner's choice for one layer."""
+
+    layer_name: str
+    scheme: Scheme
+    n_dpus: int
+    n_tasklets: int
+    policy: AccumulatorPolicy | None
+    cycles: float
+    rationale: str
+
+
+@dataclass
+class MappingPlan:
+    """A complete network mapping with its latency estimate."""
+
+    attributes: UpmemAttributes
+    decisions: list[LayerDecision] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(d.cycles for d in self.decisions)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.attributes.cycles_to_seconds(self.total_cycles)
+
+    @property
+    def peak_dpus(self) -> int:
+        return max((d.n_dpus for d in self.decisions), default=0)
+
+    def scheme_histogram(self) -> dict[Scheme, int]:
+        histogram: dict[Scheme, int] = {}
+        for decision in self.decisions:
+            histogram[decision.scheme] = histogram.get(decision.scheme, 0) + 1
+        return histogram
+
+
+class MappingPlanner:
+    """Chooses DPU mappings the way Chapter 4's methodology prescribes."""
+
+    #: WRAM a per-DPU inference may use once stacks are reserved.
+    WRAM_WORKING_SET_BUDGET = 40 * 1024
+
+    def __init__(
+        self,
+        attributes: UpmemAttributes = UPMEM_ATTRIBUTES,
+        *,
+        opt_level: OptLevel = OptLevel.O3,
+    ) -> None:
+        self.attributes = attributes
+        self.opt_level = opt_level
+
+    # ------------------------------------------------------------------ #
+    # per-layer decisions
+    # ------------------------------------------------------------------ #
+
+    def plan_gemm_layer(self, name: str, shape: GemmShape) -> LayerDecision:
+        """Map one convolutional GEMM (the Section 4.2 scheme)."""
+        n_dpus = min(shape.m, self.attributes.n_dpus)
+        waves = -(-shape.m // self.attributes.n_dpus)
+        policy = AccumulatorPolicy.for_shape(shape)
+        cycles = waves * gemm_layer_cycles(
+            shape,
+            n_tasklets=YOLO_TASKLETS,
+            opt_level=self.opt_level,
+            policy=policy,
+        )
+        rationale = (
+            f"GEMM row per DPU: M={shape.m} filters -> {n_dpus} DPUs"
+            + (f" in {waves} waves" if waves > 1 else "")
+            + f"; ctmp ({4 * shape.n} B) "
+            + ("fits WRAM" if policy is AccumulatorPolicy.WRAM
+               else "spills to MRAM")
+        )
+        return LayerDecision(
+            layer_name=name,
+            scheme=Scheme.GEMM_ROW,
+            n_dpus=n_dpus,
+            n_tasklets=YOLO_TASKLETS,
+            policy=policy,
+            cycles=cycles,
+            rationale=rationale,
+        )
+
+    def plan_image_batch(
+        self, name: str, config: EbnnConfig, n_images: int
+    ) -> LayerDecision:
+        """Map a whole small network by batching images (Section 4.1)."""
+        if n_images < 1:
+            raise MappingError(f"need at least one image, got {n_images}")
+        layout = EbnnDpuLayout(config)
+        per_dpu = max(
+            1, min(IMAGES_PER_DPU, DMA_MAX_TRANSFER_BYTES // layout.image_bytes)
+        )
+        tasklets = min(EBNN_TASKLETS, max(per_dpu, 1))
+        n_dpus = min(-(-n_images // per_dpu), self.attributes.n_dpus)
+        cycles = ebnn_dpu_cycles(
+            config,
+            n_images=min(per_dpu, n_images),
+            n_tasklets=tasklets,
+            opt_level=self.opt_level,
+            use_lut=True,
+            images_per_dpu=per_dpu,
+        )
+        rationale = (
+            f"image batch per DPU: {per_dpu} images fit one "
+            f"{DMA_MAX_TRANSFER_BYTES}-byte staging transfer; "
+            f"{tasklets} tasklets (one per image); LUT replaces BN+BinAct"
+        )
+        return LayerDecision(
+            layer_name=name,
+            scheme=Scheme.IMAGE_BATCH,
+            n_dpus=n_dpus,
+            n_tasklets=tasklets,
+            policy=None,
+            cycles=cycles,
+            rationale=rationale,
+        )
+
+    def working_set_bytes(self, config: EbnnConfig) -> int:
+        """Per-inference WRAM working set of a small binary network."""
+        layout = EbnnDpuLayout(config)
+        return (
+            layout.image_bytes
+            + layout.result_bytes_per_image
+            + layout.lut_bytes
+            + layout.weight_bytes
+        )
+
+    def fits_image_batch(self, config: EbnnConfig) -> bool:
+        """Whether the whole inference fits the WRAM working-set budget."""
+        return self.working_set_bytes(config) <= self.WRAM_WORKING_SET_BUDGET
+
+    # ------------------------------------------------------------------ #
+    # whole-network plans
+    # ------------------------------------------------------------------ #
+
+    def plan_ebnn(self, config: EbnnConfig, n_images: int) -> MappingPlan:
+        """Plan an eBNN-class network (chooses the image-batch scheme)."""
+        if not self.fits_image_batch(config):
+            raise MappingError(
+                f"network working set ({self.working_set_bytes(config)} B) "
+                f"exceeds the WRAM budget; map it layer-wise instead"
+            )
+        plan = MappingPlan(self.attributes)
+        plan.decisions.append(
+            self.plan_image_batch("conv_pool_block", config, n_images)
+        )
+        return plan
+
+    def plan_yolov3(self, model: Yolov3Model) -> MappingPlan:
+        """Plan a YOLOv3-class network (GEMM row scheme per conv layer)."""
+        plan = MappingPlan(self.attributes)
+        for layer in model.plans:
+            plan.decisions.append(
+                self.plan_gemm_layer(f"conv_{layer.layer_index}", layer.gemm)
+            )
+        return plan
+
+    def plan_auto(self, workload) -> MappingPlan:
+        """Dispatch on the workload type, the 'tool' of Section 6.1."""
+        if isinstance(workload, Yolov3Model):
+            return self.plan_yolov3(workload)
+        if isinstance(workload, EbnnConfig):
+            return self.plan_ebnn(workload, IMAGES_PER_DPU)
+        raise MappingError(
+            f"no mapping strategy for workload type {type(workload).__name__}"
+        )

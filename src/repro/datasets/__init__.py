@@ -1,0 +1,14 @@
+"""Deterministic synthetic datasets standing in for MNIST and test photos."""
+
+from repro.datasets.images import YOLO_INPUT_SIZE, dog_image_stand_in, generate_scene
+from repro.datasets.mnist import IMAGE_SIZE, MnistBatch, generate_batch, render_digit
+
+__all__ = [
+    "YOLO_INPUT_SIZE",
+    "dog_image_stand_in",
+    "generate_scene",
+    "IMAGE_SIZE",
+    "MnistBatch",
+    "generate_batch",
+    "render_digit",
+]

@@ -1,0 +1,57 @@
+"""Synthetic 416x416 detection images (Section 4.2.2 substitute).
+
+The thesis feeds YOLOv3 a standard 416x416 example photo (the dog image).
+Offline, we synthesize deterministic scenes: a smooth background gradient
+with a few high-contrast rectangles and disks standing in for objects.
+YOLOv3's latency — the only thing the thesis measures on it — depends on
+input dimensions alone, which these images match exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+YOLO_INPUT_SIZE = 416
+
+
+def generate_scene(
+    size: int = YOLO_INPUT_SIZE,
+    *,
+    seed: int = 0,
+    n_objects: int = 3,
+) -> np.ndarray:
+    """A deterministic CHW float32 image in [0, 1] with synthetic objects."""
+    if size < 8:
+        raise WorkloadError(f"image size too small: {size}")
+    if n_objects < 0:
+        raise WorkloadError(f"negative object count: {n_objects}")
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.float32) / size
+    image = np.stack(
+        [
+            0.3 + 0.4 * xs,
+            0.3 + 0.4 * ys,
+            0.5 + 0.2 * np.sin(6.0 * np.pi * (xs + ys)),
+        ]
+    )
+    for _ in range(n_objects):
+        shape = rng.integers(0, 2)
+        color = rng.random(3).astype(np.float32)
+        cy, cx = rng.integers(size // 8, size - size // 8, size=2)
+        extent = int(rng.integers(size // 16, size // 5))
+        if shape == 0:  # rectangle
+            y0, y1 = max(0, cy - extent), min(size, cy + extent)
+            x0, x1 = max(0, cx - extent), min(size, cx + extent)
+            image[:, y0:y1, x0:x1] = color[:, None, None]
+        else:  # disk
+            yy, xx = np.mgrid[0:size, 0:size]
+            mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= extent**2
+            image[:, mask] = color[:, None]
+    return np.clip(image, 0.0, 1.0).astype(np.float32)
+
+
+def dog_image_stand_in(size: int = YOLO_INPUT_SIZE) -> np.ndarray:
+    """The canonical test input (deterministic seed 416, three objects)."""
+    return generate_scene(size, seed=416, n_objects=3)

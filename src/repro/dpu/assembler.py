@@ -1,0 +1,215 @@
+"""Two-pass textual assembler for the simulated DPU ISA.
+
+Syntax, one instruction per line::
+
+    # comments start with '#' or '//'
+    start:                  # labels end with ':'
+        li   r1, 100
+        li   r2, 0x20
+    loop:
+        add  r3, r3, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        sw   r3, r2, 0      # WRAM[r2 + 0] = r3
+        call __mulsi3       # args in r1/r2, result in r1
+        halt
+
+Registers are ``r0``..``r31`` (``r0`` reads as zero).  Immediates accept
+decimal and ``0x`` hex, with optional ``-``.  Pass one collects labels,
+pass two emits decoded :class:`~repro.dpu.isa.Instruction` objects with
+branch targets resolved to instruction indices.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dpu.isa import (
+    BRANCH_OPS,
+    IMMEDIATE_OPS,
+    MUTEX_COUNT,
+    Instruction,
+    Opcode,
+    Program,
+)
+from repro.errors import AssemblerError
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_REGISTER_RE = re.compile(r"^r([0-9]|[12][0-9]|3[01])$")
+
+#: opcode mnemonic -> Opcode
+_MNEMONICS = {op.value: op for op in Opcode}
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//"):
+        index = line.find(marker)
+        if index != -1:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    match = _REGISTER_RE.match(token)
+    if not match:
+        raise AssemblerError(f"line {line_no}: expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_immediate(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: expected immediate, got {token!r}"
+        ) from None
+
+
+def _split_operands(rest: str) -> list[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [token.strip() for token in rest.split(",")]
+
+
+def assemble(source: str, name: str = "anonymous") -> Program:
+    """Assemble DPU assembly text into a loadable :class:`Program`."""
+    labels: dict[str, int] = {}
+    pending: list[tuple[int, str, str]] = []  # (line_no, mnemonic, operands)
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, _, remainder = line.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblerError(f"line {line_no}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = len(pending)
+            line = remainder.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        pending.append((line_no, mnemonic.lower(), rest))
+
+    instructions: list[Instruction] = []
+    for line_no, mnemonic, rest in pending:
+        opcode = _MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+        operands = _split_operands(rest)
+        instructions.append(
+            _encode(opcode, operands, labels, line_no, f"{mnemonic} {rest}".strip())
+        )
+    return Program(instructions=instructions, labels=labels, name=name)
+
+
+def _expect(operands: list[str], count: int, opcode: Opcode, line_no: int) -> None:
+    if len(operands) != count:
+        raise AssemblerError(
+            f"line {line_no}: {opcode.value} expects {count} operands, "
+            f"got {len(operands)}"
+        )
+
+
+def _resolve_label(
+    token: str, labels: dict[str, int], line_no: int
+) -> int:
+    if token not in labels:
+        raise AssemblerError(f"line {line_no}: undefined label {token!r}")
+    return labels[token]
+
+
+def _encode(
+    opcode: Opcode,
+    operands: list[str],
+    labels: dict[str, int],
+    line_no: int,
+    text: str,
+) -> Instruction:
+    reg = lambda token: _parse_register(token, line_no)
+    imm = lambda token: _parse_immediate(token, line_no)
+
+    if opcode in (
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.MUL8, Opcode.SLT,
+        Opcode.SLTU,
+    ):
+        _expect(operands, 3, opcode, line_no)
+        return Instruction(
+            opcode, rd=reg(operands[0]), rs=reg(operands[1]), rt=reg(operands[2]),
+            text=text,
+        )
+    if opcode in IMMEDIATE_OPS:
+        _expect(operands, 3, opcode, line_no)
+        return Instruction(
+            opcode, rd=reg(operands[0]), rs=reg(operands[1]), imm=imm(operands[2]),
+            text=text,
+        )
+    if opcode is Opcode.LI:
+        _expect(operands, 2, opcode, line_no)
+        return Instruction(opcode, rd=reg(operands[0]), imm=imm(operands[1]), text=text)
+    if opcode is Opcode.MOVE:
+        _expect(operands, 2, opcode, line_no)
+        return Instruction(opcode, rd=reg(operands[0]), rs=reg(operands[1]), text=text)
+    if opcode is Opcode.TID:
+        _expect(operands, 1, opcode, line_no)
+        return Instruction(opcode, rd=reg(operands[0]), text=text)
+    if opcode in (Opcode.LW, Opcode.LH, Opcode.LB):
+        _expect(operands, 3, opcode, line_no)
+        return Instruction(
+            opcode, rd=reg(operands[0]), rs=reg(operands[1]), imm=imm(operands[2]),
+            text=text,
+        )
+    if opcode in (Opcode.SW, Opcode.SH, Opcode.SB):
+        _expect(operands, 3, opcode, line_no)
+        # sw rt, rs, imm : store rt at WRAM[rs + imm]
+        return Instruction(
+            opcode, rt=reg(operands[0]), rs=reg(operands[1]), imm=imm(operands[2]),
+            text=text,
+        )
+    if opcode in (Opcode.LDMA, Opcode.SDMA):
+        _expect(operands, 3, opcode, line_no)
+        # ldma wram_reg, mram_reg, size ; sdma wram_reg, mram_reg, size
+        return Instruction(
+            opcode, rd=reg(operands[0]), rs=reg(operands[1]), imm=imm(operands[2]),
+            text=text,
+        )
+    if opcode in BRANCH_OPS:
+        _expect(operands, 3, opcode, line_no)
+        return Instruction(
+            opcode, rs=reg(operands[0]), rt=reg(operands[1]),
+            target=_resolve_label(operands[2], labels, line_no), text=text,
+        )
+    if opcode in (Opcode.J, Opcode.JAL):
+        _expect(operands, 1, opcode, line_no)
+        return Instruction(
+            opcode, target=_resolve_label(operands[0], labels, line_no), text=text
+        )
+    if opcode is Opcode.JR:
+        _expect(operands, 1, opcode, line_no)
+        return Instruction(opcode, rs=reg(operands[0]), text=text)
+    if opcode is Opcode.CALL:
+        _expect(operands, 1, opcode, line_no)
+        return Instruction(opcode, target=operands[0], text=text)
+    if opcode is Opcode.PERF_GET:
+        _expect(operands, 1, opcode, line_no)
+        return Instruction(opcode, rd=reg(operands[0]), text=text)
+    if opcode in (Opcode.ACQUIRE, Opcode.RELEASE):
+        _expect(operands, 1, opcode, line_no)
+        mutex_id = imm(operands[0])
+        if not 0 <= mutex_id < MUTEX_COUNT:
+            raise AssemblerError(
+                f"line {line_no}: mutex id {mutex_id} outside "
+                f"[0, {MUTEX_COUNT})"
+            )
+        return Instruction(opcode, imm=mutex_id, text=text)
+    if opcode in (Opcode.PERF_CONFIG, Opcode.NOP, Opcode.HALT, Opcode.BARRIER):
+        _expect(operands, 0, opcode, line_no)
+        return Instruction(opcode, text=text)
+    raise AssemblerError(f"line {line_no}: unhandled opcode {opcode.value}")

@@ -1,0 +1,118 @@
+"""UPMEM platform attributes (paper Table 2.1).
+
+The numbers in :data:`UPMEM_ATTRIBUTES` are exactly the ones the thesis
+reports for the physical UPMEM server used in the evaluation.  They are the
+single source of truth for the simulator, the host runtime topology and the
+analytical model, so every experiment draws its platform constants from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class UpmemAttributes:
+    """Physical attributes of the UPMEM PIM platform (Table 2.1).
+
+    The defaults describe the 20-DIMM server evaluated in the paper.  A
+    scaled-down instance (fewer DIMMs) can be created for fast tests via
+    :meth:`scaled`.
+    """
+
+    n_dpus: int = 2560
+    dpus_per_dimm: int = 128
+    dpus_per_chip: int = 8
+    memory_per_chip_bytes: int = 512 * 1024 * 1024
+    dpu_area_mm2: float = 3.75
+    dpu_power_w: float = 0.120
+    frequency_hz: float = 350e6
+    max_tasklets: int = 24
+    pipeline_stages: int = 11
+    registers_per_thread: int = 32
+    mram_bytes: int = 64 * 1024 * 1024
+    wram_bytes: int = 64 * 1024
+    iram_bytes: int = 24 * 1024
+
+    @property
+    def n_dimms(self) -> int:
+        """Number of DIMMs in the system (20 for the paper's server)."""
+        return self.n_dpus // self.dpus_per_dimm
+
+    @property
+    def chips_per_dimm(self) -> int:
+        """Number of PIM chips per DIMM (16 for the paper's server)."""
+        return self.dpus_per_dimm // self.dpus_per_chip
+
+    @property
+    def n_chips(self) -> int:
+        """Total PIM chips in the system."""
+        return self.n_dpus // self.dpus_per_chip
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one DPU clock cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count into wall-clock seconds at DPU frequency."""
+        return cycles / self.frequency_hz
+
+    def scaled(self, n_dpus: int) -> "UpmemAttributes":
+        """Return a copy of the platform with a different DPU count.
+
+        Used by tests and examples that want a small system; per-DPU
+        attributes are unchanged, only the population scales.
+        """
+        if n_dpus <= 0:
+            raise ValueError(f"n_dpus must be positive, got {n_dpus}")
+        return UpmemAttributes(
+            n_dpus=n_dpus,
+            dpus_per_dimm=min(self.dpus_per_dimm, n_dpus),
+            dpus_per_chip=min(self.dpus_per_chip, n_dpus),
+            memory_per_chip_bytes=self.memory_per_chip_bytes,
+            dpu_area_mm2=self.dpu_area_mm2,
+            dpu_power_w=self.dpu_power_w,
+            frequency_hz=self.frequency_hz,
+            max_tasklets=self.max_tasklets,
+            pipeline_stages=self.pipeline_stages,
+            registers_per_thread=self.registers_per_thread,
+            mram_bytes=self.mram_bytes,
+            wram_bytes=self.wram_bytes,
+            iram_bytes=self.iram_bytes,
+        )
+
+    def as_table(self) -> list[tuple[str, str]]:
+        """Render the attributes as (name, value) rows in Table 2.1 order."""
+        return [
+            ("No. of DPUs", f"{self.n_dpus} ({self.n_dimms} DIMM)"),
+            ("No. of DPUs/ DIMM", str(self.dpus_per_dimm)),
+            ("DPU/ Chip", str(self.dpus_per_chip)),
+            ("Available Memory/ Chip", _format_bytes(self.memory_per_chip_bytes)),
+            ("DPU Area", f"{self.dpu_area_mm2} mm^2"),
+            ("DPU Power Consumption", f"{self.dpu_power_w * 1000:.0f} mW"),
+            ("DPU Operating Frequency", f"{self.frequency_hz / 1e6:.0f} MHz"),
+            ("DPU Hardware Threads (i.e Tasklets)", f"1-{self.max_tasklets}"),
+            ("DPU Pipeline Stages", str(self.pipeline_stages)),
+            ("DPU Registers/ Thread", str(self.registers_per_thread)),
+            ("DPU MRAM Size", _format_bytes(self.mram_bytes)),
+            ("DPU WRAM Size", _format_bytes(self.wram_bytes)),
+            ("DPU IRAM Size", _format_bytes(self.iram_bytes)),
+        ]
+
+
+def _format_bytes(n: int) -> str:
+    """Format a byte count the way the paper's table does (KB / MB)."""
+    if n % (1024 * 1024) == 0:
+        return f"{n // (1024 * 1024)} MB"
+    if n % 1024 == 0:
+        return f"{n // 1024} KB"
+    return f"{n} B"
+
+
+#: The platform the paper evaluated: a 20-DIMM, 2560-DPU UPMEM server.
+UPMEM_ATTRIBUTES = UpmemAttributes()
+
+#: The DPU frequency UPMEM's whitepaper originally announced (Section 4.3.4);
+#: used by the "improvements" ablation benchmarks.
+ANNOUNCED_FREQUENCY_HZ = 600e6

@@ -1,0 +1,208 @@
+"""The DPU device: memories, loaded image, launch entry points.
+
+One :class:`Dpu` owns an MRAM, a WRAM and a DMA engine, and can run either
+
+* an assembled :class:`~repro.dpu.isa.Program` through the instruction
+  interpreter (exact, used for microbenchmarks), or
+* a registered Python kernel through :class:`~repro.dpu.kernel.KernelContext`
+  (fast, used for CNN workloads),
+
+mirroring how a physical DPU runs whatever image ``dpu_load`` put in its
+IRAM.  MRAM *symbols* — named, sized regions — are how the host addresses
+DPU memory in the UPMEM SDK (``dpu_copy_to(set, "symbol", ...)``); an image
+declares its symbols and the device resolves them for the host runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
+from repro.dpu.costs import OptLevel
+from repro.dpu.interpreter import ExecutionResult, Interpreter
+from repro.dpu.isa import Program
+from repro.dpu.kernel import GLOBAL_KERNELS, KernelContext, KernelResult
+from repro.dpu.memory import DmaEngine, Mram, Wram
+from repro.errors import DpuError, LaunchError, SymbolError
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named MRAM region the host can transfer to/from."""
+
+    name: str
+    mram_addr: int
+    size: int
+
+    def check_range(self, offset: int, n_bytes: int) -> None:
+        if offset < 0 or n_bytes < 0 or offset + n_bytes > self.size:
+            raise SymbolError(
+                f"transfer [{offset}, {offset + n_bytes}) outside symbol "
+                f"{self.name!r} of size {self.size}"
+            )
+
+
+@dataclass
+class DpuImage:
+    """A loadable DPU image: an assembled program or a named kernel.
+
+    The stand-in for a dpu-clang compiled binary.  ``symbols`` declares the
+    MRAM layout the host and the program agree on.
+    """
+
+    name: str
+    program: Program | None = None
+    kernel_name: str | None = None
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.program is None) == (self.kernel_name is None):
+            raise DpuError(
+                "a DpuImage needs exactly one of program / kernel_name"
+            )
+
+    @staticmethod
+    def from_symbol_layout(
+        name: str,
+        *,
+        program: Program | None = None,
+        kernel_name: str | None = None,
+        layout: list[tuple[str, int]] | None = None,
+        base_addr: int = 0,
+    ) -> "DpuImage":
+        """Build an image with symbols packed consecutively from ``base_addr``.
+
+        ``layout`` is a list of (symbol name, size in bytes); each symbol is
+        8-byte aligned, matching the MRAM allocation rule of Section 3.2.
+        """
+        symbols: dict[str, Symbol] = {}
+        addr = base_addr
+        for symbol_name, size in layout or []:
+            addr = (addr + 7) & ~7
+            symbols[symbol_name] = Symbol(symbol_name, addr, size)
+            addr += size
+        return DpuImage(
+            name=name, program=program, kernel_name=kernel_name, symbols=symbols
+        )
+
+
+class Dpu:
+    """One simulated DRAM Processing Unit."""
+
+    def __init__(
+        self,
+        dpu_id: int = 0,
+        attributes: UpmemAttributes = UPMEM_ATTRIBUTES,
+    ) -> None:
+        self.dpu_id = dpu_id
+        self.attributes = attributes
+        self.mram = Mram(attributes.mram_bytes)
+        self.wram = Wram(attributes.wram_bytes)
+        self.dma = DmaEngine(self.mram, self.wram)
+        self.image: DpuImage | None = None
+        self.last_result: ExecutionResult | KernelResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # image management
+    # ------------------------------------------------------------------ #
+
+    def load(self, image: DpuImage) -> None:
+        """Load an image (program or kernel), the ``dpu_load`` equivalent."""
+        if image.program is not None:
+            # Validate IRAM capacity eagerly, like the loader would.
+            Interpreter(image.program, self.wram, self.dma)
+        elif image.kernel_name is not None:
+            GLOBAL_KERNELS.get(image.kernel_name)
+        self.image = image
+
+    def symbol(self, name: str) -> Symbol:
+        if self.image is None:
+            raise SymbolError("no image loaded")
+        try:
+            return self.image.symbols[name]
+        except KeyError:
+            raise SymbolError(
+                f"image {self.image.name!r} defines no symbol {name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # MRAM access (host side)
+    # ------------------------------------------------------------------ #
+
+    def write_symbol(self, name: str, data: bytes, offset: int = 0) -> None:
+        sym = self.symbol(name)
+        sym.check_range(offset, len(data))
+        self.mram.write(sym.mram_addr + offset, data)
+
+    def read_symbol(self, name: str, n_bytes: int, offset: int = 0) -> bytes:
+        sym = self.symbol(name)
+        sym.check_range(offset, n_bytes)
+        return self.mram.read(sym.mram_addr + offset, n_bytes)
+
+    def write_symbol_array(self, name: str, values: np.ndarray, offset: int = 0) -> None:
+        self.write_symbol(name, np.ascontiguousarray(values).tobytes(), offset)
+
+    def read_symbol_array(
+        self, name: str, dtype: np.dtype | str, count: int, offset: int = 0
+    ) -> np.ndarray:
+        dt = np.dtype(dtype)
+        raw = self.read_symbol(name, dt.itemsize * count, offset)
+        return np.frombuffer(raw, dtype=dt).copy()
+
+    # ------------------------------------------------------------------ #
+    # launch
+    # ------------------------------------------------------------------ #
+
+    def launch(
+        self,
+        *,
+        n_tasklets: int = 1,
+        opt_level: OptLevel = OptLevel.O0,
+        **kernel_params,
+    ) -> ExecutionResult | KernelResult:
+        """Run the loaded image to completion and return its result.
+
+        Program images run through the instruction interpreter; kernel
+        images run through the cycle-accounted Python path, receiving
+        ``kernel_params`` after the context argument.
+        """
+        if self.image is None:
+            raise LaunchError("launch without a loaded image")
+        if not 1 <= n_tasklets <= self.attributes.max_tasklets:
+            raise LaunchError(
+                f"tasklet count {n_tasklets} outside "
+                f"[1, {self.attributes.max_tasklets}]"
+            )
+        if self.image.program is not None:
+            interpreter = Interpreter(
+                self.image.program,
+                self.wram,
+                self.dma,
+                n_tasklets=n_tasklets,
+                opt_level=opt_level,
+            )
+            self.last_result = interpreter.run()
+        else:
+            kernel = GLOBAL_KERNELS.get(self.image.kernel_name)
+            context = KernelContext(
+                self.mram,
+                self.wram,
+                n_tasklets=n_tasklets,
+                opt_level=opt_level,
+                symbols=self.image.symbols,
+            )
+            kernel(context, **kernel_params)
+            self.last_result = context.result()
+        return self.last_result
+
+    def last_cycles(self) -> float:
+        """Cycles of the most recent launch (0.0 if never launched)."""
+        if self.last_result is None:
+            return 0.0
+        return self.last_result.cycles
+
+    def last_seconds(self) -> float:
+        """Wall-clock seconds of the most recent launch at DPU frequency."""
+        return self.attributes.cycles_to_seconds(self.last_cycles())

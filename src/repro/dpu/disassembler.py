@@ -1,0 +1,99 @@
+"""Disassembler: decoded instructions back to assembly text.
+
+Completes the toolchain triangle — assembler, binary encoder, and this —
+so any program (hand-written, generated, or decoded from an IRAM image)
+can be inspected, diffed and re-assembled.  Round trip guarantee:
+``assemble(disassemble(p))`` executes identically to ``p`` (labels are
+regenerated as ``L<index>`` names).
+"""
+
+from __future__ import annotations
+
+from repro.dpu.isa import (
+    BRANCH_OPS,
+    IMMEDIATE_OPS,
+    Instruction,
+    Opcode,
+    Program,
+)
+from repro.errors import DpuFaultError
+
+_THREE_REG = {
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.MUL8, Opcode.SLT,
+    Opcode.SLTU,
+}
+_LOADS = {Opcode.LW, Opcode.LH, Opcode.LB}
+_STORES = {Opcode.SW, Opcode.SH, Opcode.SB}
+_TARGET_OPS = BRANCH_OPS | {Opcode.J, Opcode.JAL}
+
+
+def disassemble_instruction(
+    instruction: Instruction, labels: dict[int, str] | None = None
+) -> str:
+    """One instruction as assembler-accepted text."""
+    op = instruction.opcode
+    mnemonic = op.value
+    labels = labels or {}
+
+    def label_of(index) -> str:
+        return labels.get(int(index), str(int(index)))
+
+    if op in _THREE_REG:
+        return (f"{mnemonic} r{instruction.rd}, r{instruction.rs}, "
+                f"r{instruction.rt}")
+    if op in IMMEDIATE_OPS:
+        return (f"{mnemonic} r{instruction.rd}, r{instruction.rs}, "
+                f"{instruction.imm}")
+    if op is Opcode.LI:
+        return f"li r{instruction.rd}, {instruction.imm}"
+    if op is Opcode.MOVE:
+        return f"move r{instruction.rd}, r{instruction.rs}"
+    if op is Opcode.TID:
+        return f"tid r{instruction.rd}"
+    if op in _LOADS:
+        return (f"{mnemonic} r{instruction.rd}, r{instruction.rs}, "
+                f"{instruction.imm}")
+    if op in _STORES:
+        return (f"{mnemonic} r{instruction.rt}, r{instruction.rs}, "
+                f"{instruction.imm}")
+    if op in (Opcode.LDMA, Opcode.SDMA):
+        return (f"{mnemonic} r{instruction.rd}, r{instruction.rs}, "
+                f"{instruction.imm}")
+    if op in BRANCH_OPS:
+        return (f"{mnemonic} r{instruction.rs}, r{instruction.rt}, "
+                f"{label_of(instruction.target)}")
+    if op in (Opcode.J, Opcode.JAL):
+        return f"{mnemonic} {label_of(instruction.target)}"
+    if op is Opcode.JR:
+        return f"jr r{instruction.rs}"
+    if op is Opcode.CALL:
+        return f"call {instruction.target}"
+    if op is Opcode.PERF_GET:
+        return f"perf_get r{instruction.rd}"
+    if op in (Opcode.ACQUIRE, Opcode.RELEASE):
+        return f"{mnemonic} {instruction.imm}"
+    if op in (Opcode.PERF_CONFIG, Opcode.NOP, Opcode.HALT, Opcode.BARRIER):
+        return mnemonic
+    raise DpuFaultError(f"cannot disassemble opcode {op}")
+
+
+def disassemble(program: Program) -> str:
+    """A whole program as re-assemblable text with generated labels."""
+    targets = {
+        int(instruction.target)
+        for instruction in program.instructions
+        if instruction.opcode in _TARGET_OPS
+    }
+    labels = {index: f"L{index}" for index in sorted(targets)}
+    lines: list[str] = []
+    for index, instruction in enumerate(program.instructions):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        lines.append(f"    {disassemble_instruction(instruction, labels)}")
+    # a branch may target one past the last instruction (fall-off halt)
+    end = len(program.instructions)
+    if end in labels:
+        lines.append(f"{labels[end]}:")
+        lines.append("    halt")
+    return "\n".join(lines) + "\n"

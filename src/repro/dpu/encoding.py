@@ -1,0 +1,131 @@
+"""Binary encoding of the simulated DPU ISA.
+
+The physical DPU fetches 64-bit instruction words from its 24 KB IRAM
+(Section 2.1.2).  This module defines a concrete 64-bit encoding for the
+simulated ISA and provides encode/decode both ways, so programs can be
+stored, hashed and shipped as byte images exactly like dpu-clang output.
+
+Word layout (little-endian fields from bit 0):
+
+====  =====  ==========================================================
+bits  field  meaning
+====  =====  ==========================================================
+0-7   op     opcode ordinal
+8-13  rd     destination register
+14-19 rs     first source register
+20-25 rt     second source register
+26-57 imm    32-bit immediate / resolved branch target (two's compl.)
+58-63 aux    reserved (zero)
+====  =====  ==========================================================
+
+``CALL`` targets are symbolic (subroutine names), so encoded programs
+carry a side table mapping call-site indices to names, mirroring how a
+real binary carries relocations.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.dpu.isa import BRANCH_OPS, Instruction, Opcode, Program
+from repro.errors import DpuFaultError
+
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+
+_IMM_BITS = 32
+_IMM_MASK = (1 << _IMM_BITS) - 1
+
+#: Opcodes whose ``target`` field holds a resolved instruction index.
+_TARGET_OPS = BRANCH_OPS | {Opcode.J, Opcode.JAL}
+
+
+@dataclass(frozen=True)
+class EncodedProgram:
+    """A program as IRAM bytes plus its call relocation table."""
+
+    words: bytes
+    call_table: dict[int, str] = field(default_factory=dict)
+    name: str = "anonymous"
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.words) // 8
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.words)
+
+
+def encode_instruction(instruction: Instruction) -> int:
+    """Pack one instruction into its 64-bit word."""
+    op_index = _OPCODE_INDEX[instruction.opcode]
+    imm = instruction.imm
+    if instruction.opcode in _TARGET_OPS:
+        imm = int(instruction.target)
+    if not -(1 << (_IMM_BITS - 1)) <= imm < (1 << _IMM_BITS):
+        raise DpuFaultError(
+            f"immediate {imm} does not fit the {_IMM_BITS}-bit field"
+        )
+    word = op_index & 0xFF
+    word |= (instruction.rd & 0x3F) << 8
+    word |= (instruction.rs & 0x3F) << 14
+    word |= (instruction.rt & 0x3F) << 20
+    word |= (imm & _IMM_MASK) << 26
+    return word
+
+
+def decode_instruction(word: int, call_name: str | None = None) -> Instruction:
+    """Unpack a 64-bit word back into a decoded instruction."""
+    op_index = word & 0xFF
+    if op_index >= len(_OPCODES):
+        raise DpuFaultError(f"illegal opcode ordinal {op_index}")
+    opcode = _OPCODES[op_index]
+    rd = (word >> 8) & 0x3F
+    rs = (word >> 14) & 0x3F
+    rt = (word >> 20) & 0x3F
+    imm = (word >> 26) & _IMM_MASK
+    if imm >= 1 << (_IMM_BITS - 1):
+        imm -= 1 << _IMM_BITS
+    target: int | str | None = None
+    if opcode in _TARGET_OPS:
+        target = imm
+        imm = 0
+    elif opcode is Opcode.CALL:
+        if call_name is None:
+            raise DpuFaultError("CALL word decoded without a relocation entry")
+        target = call_name
+    return Instruction(opcode, rd=rd, rs=rs, rt=rt, imm=imm, target=target)
+
+
+def encode_program(program: Program) -> EncodedProgram:
+    """Serialize a program to IRAM words plus its call relocation table."""
+    words = bytearray()
+    call_table: dict[int, str] = {}
+    for index, instruction in enumerate(program.instructions):
+        if instruction.opcode is Opcode.CALL:
+            call_table[index] = str(instruction.target)
+        words += struct.pack("<Q", encode_instruction(instruction))
+    return EncodedProgram(
+        words=bytes(words), call_table=call_table, name=program.name
+    )
+
+
+def decode_program(encoded: EncodedProgram) -> Program:
+    """Deserialize IRAM words back into an executable program.
+
+    Labels are not recoverable from the binary (they never are); branch
+    targets stay as resolved indices, which is all execution needs.
+    """
+    if len(encoded.words) % 8:
+        raise DpuFaultError(
+            f"IRAM image of {len(encoded.words)} bytes is not word-aligned"
+        )
+    instructions = []
+    for index in range(encoded.n_instructions):
+        (word,) = struct.unpack_from("<Q", encoded.words, index * 8)
+        instructions.append(
+            decode_instruction(word, encoded.call_table.get(index))
+        )
+    return Program(instructions=instructions, labels={}, name=encoded.name)

@@ -1,0 +1,356 @@
+"""Cycle-accounted interpreter for simulated DPU programs.
+
+Executes a :class:`~repro.dpu.isa.Program` over one or more tasklets with
+the fine-grained multithreading timing model of :mod:`repro.dpu.pipeline`:
+every instruction occupies one dispatch slot of its tasklet, runtime
+subroutine calls occupy their calibrated instruction count, and MRAM DMA
+instructions stall the issuing tasklet for the Eq. 3.4 transfer time while
+other tasklets keep dispatching.
+
+All tasklets run the same program (the SIMT model of Section 3.1) and can
+branch independently; ``tid`` exposes the tasklet id so kernels can split
+work, exactly like ``me()`` in the UPMEM SDK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dpu import runtime_calls
+from repro.dpu.costs import OptLevel
+from repro.dpu.isa import Instruction, Opcode, Program, LINK_REGISTER
+from repro.dpu.memory import DmaEngine, Iram, Wram
+from repro.dpu.pipeline import TaskletClock, dispatch_interval
+from repro.dpu.profiler import PerfCounter, SubroutineProfile
+from repro.dpu.registers import RegisterFile
+from repro.dpu.softint import to_signed
+from repro.errors import DpuFaultError, DpuLimitError
+
+_U32 = 0xFFFF_FFFF
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one DPU launch."""
+
+    cycles: float
+    instructions_retired: int
+    per_tasklet_instructions: list[int]
+    profile: SubroutineProfile
+    perf_values: dict[int, list[int]] = field(default_factory=dict)
+    dma_cycles: int = 0
+    dma_transfers: int = 0
+
+    @property
+    def n_tasklets(self) -> int:
+        return len(self.per_tasklet_instructions)
+
+
+class _TaskletState:
+    """Architectural state private to one tasklet."""
+
+    __slots__ = (
+        "pc", "registers", "halted", "perf", "perf_values", "blocked"
+    )
+
+    def __init__(self, tasklet_id: int) -> None:
+        self.pc = 0
+        self.registers = RegisterFile()
+        self.halted = False
+        self.blocked = False  # waiting at a barrier
+        self.perf = PerfCounter()
+        self.perf_values: list[int] = []
+
+
+class Interpreter:
+    """Executes a program on a DPU's WRAM/MRAM with cycle accounting."""
+
+    def __init__(
+        self,
+        program: Program,
+        wram: Wram,
+        dma: DmaEngine,
+        *,
+        n_tasklets: int = 1,
+        opt_level: OptLevel = OptLevel.O0,
+        max_instructions: int = 20_000_000,
+    ) -> None:
+        self.program = program
+        self.wram = wram
+        self.dma = dma
+        self.n_tasklets = n_tasklets
+        self.opt_level = opt_level
+        self.max_instructions = max_instructions
+        self.iram = Iram()
+        self.iram.load(program.instructions)
+        self.profile = SubroutineProfile()
+
+    def run(self) -> ExecutionResult:
+        """Run all tasklets to HALT (or program end) and report timing."""
+        clock = TaskletClock(self.n_tasklets)
+        states = [_TaskletState(i) for i in range(self.n_tasklets)]
+        self._states = states
+        self._mutexes: list[int | None] = [None] * 64
+        total_retired = 0
+        dma_cycles_before = self.dma.total_cycles
+        dma_transfers_before = self.dma.transfer_count
+
+        while True:
+            runnable = [
+                (clock.next_ready[i], i)
+                for i, state in enumerate(states)
+                if not state.halted and not state.blocked
+            ]
+            if not runnable:
+                if any(state.blocked for state in states):
+                    raise DpuLimitError(
+                        "all runnable tasklets are blocked at a barrier; "
+                        "a tasklet halted before reaching it?"
+                    )
+                break
+            _, tid = min(runnable)
+            state = states[tid]
+            if state.pc >= len(self.iram):
+                state.halted = True
+                self._maybe_release_barrier(clock, clock.next_ready[tid])
+                continue
+            instruction = self.iram.fetch(state.pc)
+            stall = self._execute(instruction, state, tid, clock)
+            clock.dispatch(tid, stall)
+            total_retired += 1
+            if total_retired > self.max_instructions:
+                raise DpuLimitError(
+                    f"program exceeded {self.max_instructions} retired "
+                    f"instructions; runaway loop?"
+                )
+
+        return ExecutionResult(
+            cycles=clock.finish_cycle(),
+            instructions_retired=total_retired,
+            per_tasklet_instructions=list(clock.retired),
+            profile=self.profile,
+            perf_values={
+                i: state.perf_values for i, state in enumerate(states)
+                if state.perf_values
+            },
+            dma_cycles=self.dma.total_cycles - dma_cycles_before,
+            dma_transfers=self.dma.transfer_count - dma_transfers_before,
+        )
+
+    def _execute(
+        self,
+        instruction: Instruction,
+        state: _TaskletState,
+        tid: int,
+        clock: TaskletClock,
+    ) -> float:
+        """Execute one instruction; returns extra stall cycles it causes."""
+        regs = state.registers
+        op = instruction.opcode
+        next_pc = state.pc + 1
+        stall = 0.0
+
+        if op is Opcode.ADD:
+            regs.write(instruction.rd, regs.read(instruction.rs) + regs.read(instruction.rt))
+        elif op is Opcode.SUB:
+            regs.write(instruction.rd, regs.read(instruction.rs) - regs.read(instruction.rt))
+        elif op is Opcode.AND:
+            regs.write(instruction.rd, regs.read(instruction.rs) & regs.read(instruction.rt))
+        elif op is Opcode.OR:
+            regs.write(instruction.rd, regs.read(instruction.rs) | regs.read(instruction.rt))
+        elif op is Opcode.XOR:
+            regs.write(instruction.rd, regs.read(instruction.rs) ^ regs.read(instruction.rt))
+        elif op is Opcode.LSL:
+            regs.write(instruction.rd, regs.read(instruction.rs) << (regs.read(instruction.rt) & 31))
+        elif op is Opcode.LSR:
+            regs.write(instruction.rd, regs.read(instruction.rs) >> (regs.read(instruction.rt) & 31))
+        elif op is Opcode.ASR:
+            regs.write(
+                instruction.rd,
+                to_signed(regs.read(instruction.rs), 32) >> (regs.read(instruction.rt) & 31),
+            )
+        elif op is Opcode.MUL8:
+            regs.write(
+                instruction.rd,
+                (regs.read(instruction.rs) & 0xFF) * (regs.read(instruction.rt) & 0xFF),
+            )
+        elif op is Opcode.SLT:
+            regs.write(
+                instruction.rd,
+                1 if regs.read_signed(instruction.rs) < regs.read_signed(instruction.rt) else 0,
+            )
+        elif op is Opcode.SLTU:
+            regs.write(
+                instruction.rd,
+                1 if regs.read(instruction.rs) < regs.read(instruction.rt) else 0,
+            )
+        elif op is Opcode.ADDI:
+            regs.write(instruction.rd, regs.read(instruction.rs) + instruction.imm)
+        elif op is Opcode.ANDI:
+            regs.write(instruction.rd, regs.read(instruction.rs) & (instruction.imm & _U32))
+        elif op is Opcode.ORI:
+            regs.write(instruction.rd, regs.read(instruction.rs) | (instruction.imm & _U32))
+        elif op is Opcode.XORI:
+            regs.write(instruction.rd, regs.read(instruction.rs) ^ (instruction.imm & _U32))
+        elif op is Opcode.LSLI:
+            regs.write(instruction.rd, regs.read(instruction.rs) << (instruction.imm & 31))
+        elif op is Opcode.LSRI:
+            regs.write(instruction.rd, regs.read(instruction.rs) >> (instruction.imm & 31))
+        elif op is Opcode.ASRI:
+            regs.write(
+                instruction.rd,
+                to_signed(regs.read(instruction.rs), 32) >> (instruction.imm & 31),
+            )
+        elif op is Opcode.LI:
+            regs.write(instruction.rd, instruction.imm)
+        elif op is Opcode.MOVE:
+            regs.write(instruction.rd, regs.read(instruction.rs))
+        elif op is Opcode.TID:
+            regs.write(instruction.rd, tid)
+        elif op is Opcode.LW:
+            addr = (regs.read(instruction.rs) + instruction.imm) & _U32
+            regs.write(instruction.rd, int.from_bytes(self.wram.read(addr, 4), "little"))
+        elif op is Opcode.LH:
+            addr = (regs.read(instruction.rs) + instruction.imm) & _U32
+            regs.write(instruction.rd, int.from_bytes(self.wram.read(addr, 2), "little"))
+        elif op is Opcode.LB:
+            addr = (regs.read(instruction.rs) + instruction.imm) & _U32
+            regs.write(instruction.rd, self.wram.read(addr, 1)[0])
+        elif op is Opcode.SW:
+            addr = (regs.read(instruction.rs) + instruction.imm) & _U32
+            self.wram.write(addr, regs.read(instruction.rt).to_bytes(4, "little"))
+        elif op is Opcode.SH:
+            addr = (regs.read(instruction.rs) + instruction.imm) & _U32
+            self.wram.write(addr, (regs.read(instruction.rt) & 0xFFFF).to_bytes(2, "little"))
+        elif op is Opcode.SB:
+            addr = (regs.read(instruction.rs) + instruction.imm) & _U32
+            self.wram.write(addr, bytes([regs.read(instruction.rt) & 0xFF]))
+        elif op is Opcode.LDMA:
+            stall = float(
+                self.dma.mram_to_wram(
+                    regs.read(instruction.rs), regs.read(instruction.rd), instruction.imm
+                )
+            )
+        elif op is Opcode.SDMA:
+            stall = float(
+                self.dma.wram_to_mram(
+                    regs.read(instruction.rd), regs.read(instruction.rs), instruction.imm
+                )
+            )
+        elif op is Opcode.BEQ:
+            if regs.read(instruction.rs) == regs.read(instruction.rt):
+                next_pc = int(instruction.target)
+        elif op is Opcode.BNE:
+            if regs.read(instruction.rs) != regs.read(instruction.rt):
+                next_pc = int(instruction.target)
+        elif op is Opcode.BLT:
+            if regs.read_signed(instruction.rs) < regs.read_signed(instruction.rt):
+                next_pc = int(instruction.target)
+        elif op is Opcode.BGE:
+            if regs.read_signed(instruction.rs) >= regs.read_signed(instruction.rt):
+                next_pc = int(instruction.target)
+        elif op is Opcode.J:
+            next_pc = int(instruction.target)
+        elif op is Opcode.JAL:
+            regs.write(LINK_REGISTER, state.pc + 1)
+            next_pc = int(instruction.target)
+        elif op is Opcode.JR:
+            next_pc = regs.read(instruction.rs)
+        elif op is Opcode.CALL:
+            stall = self._runtime_call(str(instruction.target), state, clock)
+        elif op is Opcode.PERF_CONFIG:
+            # The counter reset takes effect when the config instruction
+            # itself retires, so the bracket excludes its own dispatch slot.
+            state.perf.config(
+                clock.next_ready[tid] + dispatch_interval(clock.n_tasklets)
+            )
+        elif op is Opcode.PERF_GET:
+            value = state.perf.get(clock.next_ready[tid])
+            state.perf_values.append(value)
+            regs.write(instruction.rd, value)
+        elif op is Opcode.ACQUIRE:
+            holder = self._mutexes[instruction.imm]
+            if holder is None:
+                self._mutexes[instruction.imm] = tid
+            elif holder == tid:
+                raise DpuFaultError(
+                    f"tasklet {tid} re-acquired mutex {instruction.imm} "
+                    f"it already holds"
+                )
+            else:
+                next_pc = state.pc  # spin: retry this instruction
+        elif op is Opcode.RELEASE:
+            if self._mutexes[instruction.imm] != tid:
+                raise DpuFaultError(
+                    f"tasklet {tid} released mutex {instruction.imm} "
+                    f"it does not hold"
+                )
+            self._mutexes[instruction.imm] = None
+        elif op is Opcode.BARRIER:
+            state.blocked = True
+            state.pc = next_pc  # resumes past the barrier when released
+            self._maybe_release_barrier(clock, clock.next_ready[tid])
+            return 0.0
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            state.halted = True
+            self._maybe_release_barrier(clock, clock.next_ready[tid])
+        else:  # pragma: no cover - decoder guarantees coverage
+            raise DpuFaultError(f"unimplemented opcode {op}")
+
+        state.pc = next_pc
+        return stall
+
+    def _maybe_release_barrier(self, clock: TaskletClock, now: float) -> None:
+        """Release the barrier once every live tasklet has arrived.
+
+        Called whenever a tasklet blocks at the barrier or halts: when all
+        non-halted tasklets are blocked, they resume together one dispatch
+        interval after the last arrival, like the SDK's barrier_wait.
+        """
+        live = [s for s in self._states if not s.halted]
+        if not live or not all(s.blocked for s in live):
+            return
+        release_at = now + dispatch_interval(clock.n_tasklets)
+        for i, state in enumerate(self._states):
+            if state.blocked:
+                state.blocked = False
+                clock.next_ready[i] = max(clock.next_ready[i], release_at)
+
+    def _runtime_call(
+        self, name: str, state: _TaskletState, clock: TaskletClock
+    ) -> float:
+        """Dispatch a compiler-rt subroutine; returns its stall cycles.
+
+        Arguments are taken from r1 (and r2), the result lands in r1.  The
+        call occupies ``instructions`` issue slots of the tasklet: the CALL
+        itself is one, the remaining ``instructions - 1`` become stall.
+        """
+        call = runtime_calls.get(name)
+        args = [state.registers.read(i + 1) for i in range(call.arity)]
+        result = call.fn(*args)
+        state.registers.write(1, result)
+        n_instr = call.instructions(self.opt_level)
+        self.profile.record(name, n_instr)
+        return float((n_instr - 1) * dispatch_interval(clock.n_tasklets))
+
+
+def run_program(
+    program: Program,
+    *,
+    wram: Wram | None = None,
+    dma: DmaEngine | None = None,
+    n_tasklets: int = 1,
+    opt_level: OptLevel = OptLevel.O0,
+) -> tuple[ExecutionResult, Wram]:
+    """Convenience helper: run a program on a fresh DPU memory context."""
+    from repro.dpu.memory import Mram  # local import avoids cycle at module load
+
+    wram = wram or Wram()
+    if dma is None:
+        dma = DmaEngine(Mram(), wram)
+    interpreter = Interpreter(
+        program, wram, dma, n_tasklets=n_tasklets, opt_level=opt_level
+    )
+    return interpreter.run(), wram

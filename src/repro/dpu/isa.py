@@ -1,0 +1,145 @@
+"""Instruction set of the simulated DPU.
+
+A small RISC ISA in the spirit of the UPMEM DPU's proprietary one
+(Section 2.1.2: a RISC-inspired pipeline with fixed-point hardware and an
+8x8 multiplier).  It is sufficient to express the microbenchmarks and
+kernels the paper profiles:
+
+* 32-bit fixed-point ALU ops (register and immediate forms),
+* the 8x8 -> 16 hardware multiply the optimized toolchain builds wider
+  products from,
+* WRAM loads/stores (byte/half/word) at 1-cycle cost,
+* MRAM<->WRAM DMA instructions charged per Eq. 3.4,
+* branches, jumps and subroutine linkage,
+* ``CALL`` into the compiler-rt runtime (soft float / wide multiply /
+  divide) with calibrated instruction costs,
+* the perfcounter instrumentation bracket.
+
+Programs are lists of decoded :class:`Instruction` objects; the textual
+assembler in :mod:`repro.dpu.assembler` produces them, and
+:class:`~repro.dpu.memory.Iram` enforces the 24 KB capacity limit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.Enum):
+    """Every operation the simulated DPU can decode."""
+
+    # ALU, register-register
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    LSL = "lsl"
+    LSR = "lsr"
+    ASR = "asr"
+    MUL8 = "mul8"        # hardware 8x8 -> 16 multiply
+    SLT = "slt"          # set-if-less-than, signed
+    SLTU = "sltu"        # set-if-less-than, unsigned
+    # ALU, register-immediate
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    LSLI = "lsli"
+    LSRI = "lsri"
+    ASRI = "asri"
+    LI = "li"            # load immediate
+    MOVE = "move"
+    TID = "tid"          # read the tasklet id (me())
+    # WRAM memory
+    LW = "lw"
+    LH = "lh"
+    LB = "lb"
+    SW = "sw"
+    SH = "sh"
+    SB = "sb"
+    # MRAM DMA
+    LDMA = "ldma"        # MRAM -> WRAM
+    SDMA = "sdma"        # WRAM -> MRAM
+    # Control flow
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    # Tasklet synchronization (the SDK's mutex/barrier primitives)
+    ACQUIRE = "acquire"  # spin-acquire hardware mutex #imm
+    RELEASE = "release"  # release hardware mutex #imm
+    BARRIER = "barrier"  # block until every live tasklet arrives
+    # Runtime and system
+    CALL = "call"        # compiler-rt subroutine
+    PERF_CONFIG = "perf_config"
+    PERF_GET = "perf_get"
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Opcodes whose third operand is an immediate.
+IMMEDIATE_OPS = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.LSLI,
+        Opcode.LSRI,
+        Opcode.ASRI,
+    }
+)
+
+#: Opcodes that transfer control to a label.
+BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+
+#: Link register used by JAL (RISC convention, register 31).
+LINK_REGISTER = 31
+
+#: Hardware mutexes available to ACQUIRE/RELEASE (the DPU provides a small
+#: fixed pool; 56 in the real hardware, rounded here to a power of two).
+MUTEX_COUNT = 64
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Field usage varies by opcode; unused fields stay at their defaults.
+    ``target`` holds a resolved instruction index for branches/jumps and a
+    subroutine name string for ``CALL``.
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+    target: int | str | None = None
+    text: str = ""
+
+    def __str__(self) -> str:
+        return self.text or self.opcode.value
+
+
+@dataclass
+class Program:
+    """A loadable DPU program: instructions plus symbol/label metadata."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    name: str = "anonymous"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def entry(self, label: str | None = None) -> int:
+        """Instruction index of ``label`` (or 0 for the program start)."""
+        if label is None:
+            return 0
+        return self.labels[label]

@@ -1,0 +1,264 @@
+"""DPU memory hierarchy: WRAM, IRAM, MRAM and the DMA engine.
+
+The DPU sees three physical memories (paper Fig. 2.1 / Table 2.1):
+
+* **WRAM** — 64 KB working RAM inside the DPU; loads and stores cost one
+  cycle (Section 3.2.1).
+* **IRAM** — 24 KB instruction RAM; programs are loaded here.
+* **MRAM** — 64 MB main RAM outside the DPU, reachable only through the DMA
+  engine, which costs ``25 + bytes/2`` cycles per transfer (Eq. 3.4).
+
+MRAM is backed by a sparse page store so that instantiating many DPUs (the
+paper's server has 2560) does not allocate 2560 x 64 MB up front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dpu import costs
+from repro.errors import DpuAlignmentError, DpuMemoryError
+
+#: MRAM<->WRAM DMA transfers must be 8-byte aligned (Section 3.2).
+DMA_ALIGNMENT = 8
+
+#: Page size for the sparse MRAM backing store.
+_MRAM_PAGE_BYTES = 64 * 1024
+
+
+class Wram:
+    """64 KB working RAM with single-cycle access."""
+
+    def __init__(self, size: int = 64 * 1024) -> None:
+        if size <= 0:
+            raise DpuMemoryError(f"WRAM size must be positive, got {size}")
+        self.size = size
+        self._data = np.zeros(size, dtype=np.uint8)
+
+    def _check(self, addr: int, n_bytes: int) -> None:
+        if addr < 0 or n_bytes < 0 or addr + n_bytes > self.size:
+            raise DpuMemoryError(
+                f"WRAM access [{addr}, {addr + n_bytes}) outside [0, {self.size})"
+            )
+
+    def read(self, addr: int, n_bytes: int) -> bytes:
+        """Read ``n_bytes`` starting at ``addr``."""
+        self._check(addr, n_bytes)
+        return self._data[addr : addr + n_bytes].tobytes()
+
+    def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        """Write a byte string starting at ``addr``."""
+        buf = np.frombuffer(bytes(data), dtype=np.uint8)
+        self._check(addr, buf.size)
+        self._data[addr : addr + buf.size] = buf
+
+    def read_array(self, addr: int, dtype: np.dtype | str, count: int) -> np.ndarray:
+        """Read ``count`` little-endian items of ``dtype`` starting at ``addr``."""
+        dt = np.dtype(dtype)
+        self._check(addr, dt.itemsize * count)
+        return (
+            self._data[addr : addr + dt.itemsize * count]
+            .view(dt)
+            .copy()
+        )
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        """Write an array's little-endian byte image starting at ``addr``."""
+        raw = np.ascontiguousarray(values).view(np.uint8).reshape(-1)
+        self._check(addr, raw.size)
+        self._data[addr : addr + raw.size] = raw
+
+    def read_u32(self, addr: int) -> int:
+        return int(self.read_array(addr, np.uint32, 1)[0])
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write_array(addr, np.array([value & 0xFFFFFFFF], dtype=np.uint32))
+
+    def clear(self) -> None:
+        """Zero the whole WRAM (used between launches in tests)."""
+        self._data[:] = 0
+
+
+class Iram:
+    """24 KB instruction RAM; holds at most ``size // 8`` 64-bit instructions.
+
+    The simulator stores decoded instruction objects rather than encoded
+    words, but enforces the capacity limit so oversized programs are rejected
+    exactly as the hardware would reject them.
+    """
+
+    INSTRUCTION_BYTES = 8
+
+    def __init__(self, size: int = 24 * 1024) -> None:
+        if size <= 0:
+            raise DpuMemoryError(f"IRAM size must be positive, got {size}")
+        self.size = size
+        self._instructions: list = []
+
+    @property
+    def capacity_instructions(self) -> int:
+        return self.size // self.INSTRUCTION_BYTES
+
+    def load(self, instructions: list) -> None:
+        """Load a decoded program, enforcing the IRAM capacity."""
+        if len(instructions) > self.capacity_instructions:
+            raise DpuMemoryError(
+                f"program of {len(instructions)} instructions exceeds IRAM "
+                f"capacity of {self.capacity_instructions}"
+            )
+        self._instructions = list(instructions)
+
+    def fetch(self, index: int):
+        """Fetch the decoded instruction at ``index``."""
+        if index < 0 or index >= len(self._instructions):
+            raise DpuMemoryError(f"IRAM fetch at {index} outside loaded program")
+        return self._instructions[index]
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+
+class Mram:
+    """64 MB main RAM, sparse-backed, reachable only via :class:`DmaEngine`."""
+
+    def __init__(self, size: int = 64 * 1024 * 1024) -> None:
+        if size <= 0:
+            raise DpuMemoryError(f"MRAM size must be positive, got {size}")
+        self.size = size
+        self._pages: dict[int, np.ndarray] = {}
+
+    def _check(self, addr: int, n_bytes: int) -> None:
+        if addr < 0 or n_bytes < 0 or addr + n_bytes > self.size:
+            raise DpuMemoryError(
+                f"MRAM access [{addr}, {addr + n_bytes}) outside [0, {self.size})"
+            )
+
+    def _page(self, page_index: int) -> np.ndarray:
+        page = self._pages.get(page_index)
+        if page is None:
+            page = np.zeros(_MRAM_PAGE_BYTES, dtype=np.uint8)
+            self._pages[page_index] = page
+        return page
+
+    def read(self, addr: int, n_bytes: int) -> bytes:
+        """Read ``n_bytes`` starting at ``addr`` (host-side / DMA use)."""
+        self._check(addr, n_bytes)
+        out = bytearray(n_bytes)
+        pos = 0
+        while pos < n_bytes:
+            a = addr + pos
+            page_index, offset = divmod(a, _MRAM_PAGE_BYTES)
+            chunk = min(n_bytes - pos, _MRAM_PAGE_BYTES - offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[pos : pos + chunk] = page[offset : offset + chunk].tobytes()
+            pos += chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        """Write a byte string starting at ``addr`` (host-side / DMA use)."""
+        data = bytes(data)
+        self._check(addr, len(data))
+        pos = 0
+        while pos < len(data):
+            a = addr + pos
+            page_index, offset = divmod(a, _MRAM_PAGE_BYTES)
+            chunk = min(len(data) - pos, _MRAM_PAGE_BYTES - offset)
+            self._page(page_index)[offset : offset + chunk] = np.frombuffer(
+                data[pos : pos + chunk], dtype=np.uint8
+            )
+            pos += chunk
+
+    def read_array(self, addr: int, dtype: np.dtype | str, count: int) -> np.ndarray:
+        dt = np.dtype(dtype)
+        return np.frombuffer(self.read(addr, dt.itemsize * count), dtype=dt).copy()
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        self.write(addr, np.ascontiguousarray(values).tobytes())
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of host memory actually backing this MRAM (sparse pages)."""
+        return len(self._pages) * _MRAM_PAGE_BYTES
+
+
+class DmaEngine:
+    """The DMA engine that moves data between MRAM and WRAM (Eq. 3.4).
+
+    Every transfer costs ``25 + bytes/2`` cycles and is limited to 2048 bytes
+    (the staging limit Section 4.1.3 reports).  Addresses and sizes must be
+    8-byte aligned, mirroring the UPMEM SDK's constraint.  The engine keeps
+    running totals so kernels and experiments can account DMA time.
+    """
+
+    def __init__(self, mram: Mram, wram: Wram, *, enforce_alignment: bool = True) -> None:
+        self.mram = mram
+        self.wram = wram
+        self.enforce_alignment = enforce_alignment
+        self.total_cycles = 0
+        self.total_bytes = 0
+        self.transfer_count = 0
+
+    def _validate(self, mram_addr: int, wram_addr: int, n_bytes: int) -> None:
+        if n_bytes <= 0:
+            raise DpuMemoryError(f"DMA transfer size must be positive, got {n_bytes}")
+        if n_bytes > costs.DMA_MAX_TRANSFER_BYTES:
+            raise DpuMemoryError(
+                f"DMA transfer of {n_bytes} bytes exceeds the "
+                f"{costs.DMA_MAX_TRANSFER_BYTES}-byte per-transfer limit"
+            )
+        if self.enforce_alignment:
+            for name, value in (
+                ("MRAM address", mram_addr),
+                ("WRAM address", wram_addr),
+                ("size", n_bytes),
+            ):
+                if value % DMA_ALIGNMENT != 0:
+                    raise DpuAlignmentError(
+                        f"DMA {name} {value} is not {DMA_ALIGNMENT}-byte aligned"
+                    )
+
+    def _charge(self, n_bytes: int) -> int:
+        cycles = costs.mram_access_cycles(n_bytes)
+        self.total_cycles += cycles
+        self.total_bytes += n_bytes
+        self.transfer_count += 1
+        return cycles
+
+    def mram_to_wram(self, mram_addr: int, wram_addr: int, n_bytes: int) -> int:
+        """Copy MRAM -> WRAM; returns the cycles the transfer cost."""
+        self._validate(mram_addr, wram_addr, n_bytes)
+        self.wram.write(wram_addr, self.mram.read(mram_addr, n_bytes))
+        return self._charge(n_bytes)
+
+    def wram_to_mram(self, wram_addr: int, mram_addr: int, n_bytes: int) -> int:
+        """Copy WRAM -> MRAM; returns the cycles the transfer cost."""
+        self._validate(mram_addr, wram_addr, n_bytes)
+        self.mram.write(mram_addr, self.wram.read(wram_addr, n_bytes))
+        return self._charge(n_bytes)
+
+    def reset_counters(self) -> None:
+        self.total_cycles = 0
+        self.total_bytes = 0
+        self.transfer_count = 0
+
+
+def streamed_transfer_cycles(total_bytes: int, chunk_bytes: int = costs.DMA_MAX_TRANSFER_BYTES) -> int:
+    """Cycles to move ``total_bytes`` through repeated DMA transfers.
+
+    Large buffers (CNN weights, GEMM rows) are streamed through the DMA in
+    ``chunk_bytes`` pieces, each paying the Eq. 3.4 setup cost.
+    """
+    if total_bytes < 0:
+        raise DpuMemoryError(f"negative transfer size: {total_bytes}")
+    if chunk_bytes <= 0 or chunk_bytes > costs.DMA_MAX_TRANSFER_BYTES:
+        raise DpuMemoryError(
+            f"chunk size {chunk_bytes} outside (0, {costs.DMA_MAX_TRANSFER_BYTES}]"
+        )
+    if total_bytes == 0:
+        return 0
+    full, rest = divmod(total_bytes, chunk_bytes)
+    cycles = full * costs.mram_access_cycles(chunk_bytes)
+    if rest:
+        cycles += costs.mram_access_cycles(rest)
+    return cycles

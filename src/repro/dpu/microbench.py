@@ -1,0 +1,182 @@
+"""Builders for the profiling microbenchmarks of Chapter 3.
+
+The thesis measures per-operation cycle costs with a small program that
+brackets one arithmetic statement between ``perfcounter_config()`` and
+``perfcounter_get()`` (Fig. 3.1) and reads subroutine occurrence profiles
+from an fp-heavy application (Fig. 3.2).  This module generates equivalent
+programs for the simulated DPU:
+
+* :func:`build_op_measurement_program` — one measured statement, compiled
+  "at -O0": operations with hardware support become a representative
+  load/compute/store sequence with the spill traffic -O0 produces;
+  operations without hardware support become the corresponding compiler-rt
+  ``call``.
+* :func:`build_float_profile_program` — a normalization loop whose inner
+  body calls the same subroutine mix Fig. 3.2 profiles (``__ltsf2``,
+  ``__divsf3``, ``__floatsisf``, ``__addsf3``, ``__muldi3``).
+"""
+
+from __future__ import annotations
+
+from repro.dpu import costs
+from repro.dpu.assembler import assemble
+from repro.dpu.costs import Operation, OptLevel, Precision
+from repro.dpu.interpreter import run_program
+from repro.dpu.isa import Program
+from repro.dpu.kernel import subroutine_for
+from repro.errors import DpuError
+
+#: Operations that execute as inline hardware sequences at -O0 (everything
+#: else lowers to a runtime call).
+_INLINE_AT_O0 = {
+    (Operation.ADD, Precision.FIXED_8),
+    (Operation.ADD, Precision.FIXED_16),
+    (Operation.ADD, Precision.FIXED_32),
+    (Operation.SUB, Precision.FIXED_8),
+    (Operation.SUB, Precision.FIXED_16),
+    (Operation.SUB, Precision.FIXED_32),
+    (Operation.MUL, Precision.FIXED_8),
+}
+
+_CALL_NAMES = {
+    (Operation.MUL, Precision.FIXED_16): "__mulhi3",
+    (Operation.MUL, Precision.FIXED_32): "__mulsi3",
+    (Operation.DIV, Precision.FIXED_8): "__divsi3",
+    (Operation.DIV, Precision.FIXED_16): "__divsi3",
+    (Operation.DIV, Precision.FIXED_32): "__divsi3",
+    (Operation.ADD, Precision.FLOAT_32): "__addsf3",
+    (Operation.SUB, Precision.FLOAT_32): "__subsf3",
+    (Operation.MUL, Precision.FLOAT_32): "__mulsf3",
+    (Operation.DIV, Precision.FLOAT_32): "__divsf3",
+}
+
+_CORE_MNEMONIC = {
+    Operation.ADD: "add",
+    Operation.SUB: "sub",
+    Operation.MUL: "mul8",
+}
+
+
+def _inline_body(operation: Operation, precision: Precision) -> list[str]:
+    """A representative -O0 statement body of the calibrated length.
+
+    -O0 code is dominated by stack traffic: load both operands, compute,
+    store the result, then reload for the enclosing expression.  The filler
+    alternates loads and stores of the result slot, which is exactly the
+    redundant spill pattern unoptimized dpu-clang output shows.
+    """
+    n_slots = costs.INSTRUCTIONS_O0[(operation, precision)]
+    body = [
+        "lw r1, r10, 0",
+        "lw r2, r10, 4",
+        f"{_CORE_MNEMONIC[operation]} r3, r1, r2",
+        "sw r3, r10, 8",
+    ]
+    while len(body) < n_slots:
+        body.append("lw r3, r10, 8" if len(body) % 2 == 0 else "sw r3, r10, 8")
+    if len(body) != n_slots:
+        raise DpuError(
+            f"inline body for {operation.value}/{precision.value} has "
+            f"{len(body)} slots, calibration expects {n_slots}"
+        )
+    return body
+
+
+def _call_body(operation: Operation, precision: Precision) -> list[str]:
+    name = _CALL_NAMES[(operation, precision)]
+    return [f"call {name}"]
+
+
+def build_op_measurement_program(
+    operation: Operation, precision: Precision
+) -> Program:
+    """Fig. 3.1 equivalent: measure one operation with the perfcounter."""
+    if (operation, precision) in _INLINE_AT_O0:
+        body = _inline_body(operation, precision)
+    elif (operation, precision) in _CALL_NAMES:
+        body = _call_body(operation, precision)
+    else:
+        raise DpuError(
+            f"no -O0 lowering defined for {operation.value} at {precision.value}"
+        )
+    lines = [
+        "li r10, 0",          # operand scratch area at WRAM 0
+        "li r1, 123",         # operand values (maximum-type values in the
+        "li r2, 77",          # thesis; the value itself is timing-neutral)
+        "sw r1, r10, 0",
+        "sw r2, r10, 4",
+        "perf_config",
+        *body,
+        "perf_get r9",
+        "sw r9, r10, 12",     # measured cycles for the host to read back
+        "halt",
+    ]
+    return assemble(
+        "\n".join(lines),
+        name=f"measure_{operation.value}_{precision.bits}{'f' if precision.is_float else ''}",
+    )
+
+
+def measure_operation_cycles(
+    operation: Operation, precision: Precision
+) -> int:
+    """Run the measurement program and return the perfcounter reading."""
+    program = build_op_measurement_program(operation, precision)
+    result, wram = run_program(program, n_tasklets=1, opt_level=OptLevel.O0)
+    values = result.perf_values.get(0)
+    if not values:
+        raise DpuError("measurement program produced no perfcounter value")
+    return values[0]
+
+
+def expected_measurement(operation: Operation, precision: Precision) -> int:
+    """Closed-form prediction of what :func:`measure_operation_cycles` reads."""
+    return costs.O0_COSTS.measured_cycles(operation, precision)
+
+
+def build_float_profile_program(n_elements: int = 8) -> Program:
+    """An fp-heavy loop exercising the Fig. 3.2 subroutine mix.
+
+    Per element: convert the index to float (``__floatsisf``), divide by a
+    constant (``__divsf3``), threshold-compare (``__ltsf2``), and
+    accumulate (``__addsf3``); the element address computation uses a
+    64-bit multiply (``__muldi3``), matching the profile the thesis shows.
+    """
+    if n_elements < 1:
+        raise DpuError(f"need at least one element, got {n_elements}")
+    source = f"""
+        li   r5, 0              # i = 0
+        li   r6, {n_elements}   # loop bound
+        li   r7, 0x42c80000     # divisor: 100.0f
+        li   r8, 0x3f000000     # threshold: 0.5f
+        li   r9, 0              # accumulator (f32 bits)
+    loop:
+        move r1, r5
+        li   r2, 4
+        call __muldi3           # byte offset = i * 4 (64-bit multiply)
+        move r1, r5
+        call __floatsisf        # x = (float) i
+        move r4, r1             # keep x
+        move r2, r7
+        call __divsf3           # y = x / 100.0f
+        move r4, r1             # keep y
+        move r2, r8
+        call __ltsf2            # y < 0.5f ?
+        beq  r1, r0, skip
+        move r1, r9
+        move r2, r4
+        call __addsf3           # sum += y
+        move r9, r1
+    skip:
+        addi r5, r5, 1
+        blt  r5, r6, loop
+        halt
+    """
+    return assemble(source, name="float_profile")
+
+
+def run_float_profile(n_elements: int = 8):
+    """Execute the fp-heavy program; returns its :class:`ExecutionResult`."""
+    program = build_float_profile_program(n_elements)
+    result, _ = run_program(program, n_tasklets=1, opt_level=OptLevel.O0)
+    return result

@@ -1,0 +1,162 @@
+"""The DPU's fine-grained multithreaded pipeline timing model.
+
+The UPMEM DPU runs tasklets (hardware threads) through an 11-stage in-order
+pipeline with **one instruction in flight per tasklet**: after a tasklet
+dispatches an instruction, its next instruction cannot dispatch until the
+first leaves the pipeline, 11 cycles later.  The dispatcher rotates among
+resident tasklets, issuing one instruction per cycle when any is ready.
+
+Two consequences, both visible in the paper's Figure 4.7(a):
+
+* With ``T <= 11`` tasklets the pipeline has bubbles and each tasklet still
+  dispatches every 11 cycles, so wall time for a fixed total workload falls
+  linearly in ``T``.
+* With ``T >= 11`` the pipeline is full (1 IPC aggregate) and each tasklet
+  dispatches every ``T`` cycles; adding tasklets no longer helps, which is
+  the saturation at 11 tasklets the thesis reports for YOLOv3.
+
+This module provides both the closed-form model used by the mapping layers
+and the per-tasklet bookkeeping used by the cycle-accounted interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DpuLimitError
+
+#: Pipeline depth of the DPU (Table 2.1).
+PIPELINE_STAGES = 11
+
+#: Hardware tasklet limit of the DPU (Table 2.1).
+MAX_TASKLETS = 24
+
+#: WRAM available for tasklet stacks; with 11 tasklets the paper derives a
+#: 5.8 KB per-tasklet stack bound (Section 4.3.4).
+WRAM_BYTES = 64 * 1024
+
+
+def dispatch_interval(n_tasklets: int) -> int:
+    """Cycles between successive dispatches of one tasklet's instructions.
+
+    ``max(PIPELINE_STAGES, n_tasklets)``: below 11 resident tasklets the
+    pipeline depth dominates; above, the round-robin slot distance does.
+    """
+    _validate_tasklets(n_tasklets)
+    return max(PIPELINE_STAGES, n_tasklets)
+
+
+def aggregate_ipc(n_tasklets: int) -> float:
+    """Aggregate instructions-per-cycle with ``n_tasklets`` resident."""
+    _validate_tasklets(n_tasklets)
+    return min(n_tasklets / PIPELINE_STAGES, 1.0)
+
+
+def execution_cycles(instructions_per_tasklet: int | float, n_tasklets: int) -> float:
+    """Wall-clock cycles for every tasklet to retire its instruction stream.
+
+    All tasklets are assumed to run the same number of instructions (the
+    SIMT model of Section 3.1); the last instruction must also drain the
+    pipeline.
+    """
+    if instructions_per_tasklet < 0:
+        raise DpuLimitError(
+            f"negative instruction count: {instructions_per_tasklet}"
+        )
+    if instructions_per_tasklet == 0:
+        return 0.0
+    interval = dispatch_interval(n_tasklets)
+    # Dispatch of each tasklet's final instruction happens at
+    # (instructions - 1) * interval + (tasklet offset); the slowest tasklet
+    # is offset by (n_tasklets - 1), then the instruction drains the pipe.
+    return (
+        (instructions_per_tasklet - 1) * interval
+        + (n_tasklets - 1)
+        + PIPELINE_STAGES
+    )
+
+
+def balanced_execution_cycles(total_instructions: int | float, n_tasklets: int) -> float:
+    """Wall-clock cycles for a workload split evenly across tasklets.
+
+    The per-tasklet share is ``ceil(total / n_tasklets)`` — the straggler
+    determines completion, exactly as when the GEMM inner loop's columns are
+    distributed over tasklets (Section 4.2.3).
+    """
+    _validate_tasklets(n_tasklets)
+    if total_instructions < 0:
+        raise DpuLimitError(f"negative instruction count: {total_instructions}")
+    if total_instructions == 0:
+        return 0.0
+    per_tasklet = -(-total_instructions // n_tasklets)  # ceil division
+    return execution_cycles(per_tasklet, n_tasklets)
+
+
+def threading_speedup(total_instructions: int, n_tasklets: int) -> float:
+    """Speedup of ``n_tasklets`` over single-tasklet execution."""
+    base = execution_cycles(total_instructions, 1)
+    threaded = balanced_execution_cycles(total_instructions, n_tasklets)
+    return base / threaded if threaded else float("inf")
+
+
+def max_stack_bytes(n_tasklets: int, reserved_bytes: int = 0) -> int:
+    """Largest per-tasklet stack that fits WRAM (Section 4.3.4).
+
+    With 11 tasklets and no reservations this evaluates to ~5.8 KB, the
+    figure the thesis quotes when arguing WRAM is too small for modern CNN
+    buffers.
+    """
+    _validate_tasklets(n_tasklets)
+    available = WRAM_BYTES - reserved_bytes
+    if available < 0:
+        raise DpuLimitError(
+            f"reserved {reserved_bytes} bytes exceed WRAM ({WRAM_BYTES} bytes)"
+        )
+    return available // n_tasklets
+
+
+def _validate_tasklets(n_tasklets: int) -> None:
+    if not 1 <= n_tasklets <= MAX_TASKLETS:
+        raise DpuLimitError(
+            f"tasklet count {n_tasklets} outside hardware range "
+            f"[1, {MAX_TASKLETS}]"
+        )
+
+
+@dataclass
+class TaskletClock:
+    """Per-tasklet dispatch bookkeeping for the interpreter.
+
+    Tracks when each tasklet may next dispatch, honouring the one-in-flight
+    rule and any stalls (DMA waits, subroutine bodies) charged to it.
+    """
+
+    n_tasklets: int
+
+    def __post_init__(self) -> None:
+        _validate_tasklets(self.n_tasklets)
+        self.next_ready = [float(i) for i in range(self.n_tasklets)]
+        self.retired = [0] * self.n_tasklets
+
+    def dispatch(self, tasklet_id: int, extra_stall_cycles: float = 0.0) -> float:
+        """Dispatch one instruction for ``tasklet_id``.
+
+        Returns the cycle at which the instruction dispatches.  The tasklet
+        becomes ready again one dispatch interval later, plus any extra
+        stall (e.g. a DMA wait blocks only this tasklet).
+        """
+        now = self.next_ready[tasklet_id]
+        interval = dispatch_interval(self.n_tasklets)
+        self.next_ready[tasklet_id] = now + interval + extra_stall_cycles
+        self.retired[tasklet_id] += 1
+        return now
+
+    def finish_cycle(self) -> float:
+        """Cycle at which all tasklets have drained the pipeline."""
+        if not any(self.retired):
+            return 0.0
+        return max(
+            ready - dispatch_interval(self.n_tasklets) + PIPELINE_STAGES
+            for ready, count in zip(self.next_ready, self.retired)
+            if count
+        )

@@ -1,0 +1,48 @@
+"""Per-tasklet register file.
+
+Each DPU tasklet owns 32 32-bit general-purpose registers (Table 2.1).
+Register 0 is hardwired to zero, a RISC convention the simulated ISA
+adopts; writes to it are discarded.
+"""
+
+from __future__ import annotations
+
+from repro.dpu.softint import to_signed
+from repro.errors import DpuFaultError
+
+REGISTER_COUNT = 32
+_U32 = 0xFFFF_FFFF
+
+
+class RegisterFile:
+    """32 x 32-bit registers with a hardwired zero register."""
+
+    def __init__(self) -> None:
+        self._values = [0] * REGISTER_COUNT
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < REGISTER_COUNT:
+            raise DpuFaultError(f"register index {index} outside [0, {REGISTER_COUNT})")
+
+    def read(self, index: int) -> int:
+        """Unsigned 32-bit value of a register."""
+        self._check(index)
+        return self._values[index]
+
+    def read_signed(self, index: int) -> int:
+        """Two's-complement interpretation of a register."""
+        return to_signed(self.read(index), 32)
+
+    def write(self, index: int, value: int) -> None:
+        """Write the low 32 bits of ``value``; writes to r0 are ignored."""
+        self._check(index)
+        if index == 0:
+            return
+        self._values[index] = value & _U32
+
+    def snapshot(self) -> list[int]:
+        """Copy of all register values (for tests and debugging)."""
+        return list(self._values)
+
+    def reset(self) -> None:
+        self._values = [0] * REGISTER_COUNT

@@ -1,0 +1,176 @@
+"""Registry of compiler-rt subroutines the DPU runtime provides.
+
+dpu-clang lowers unsupported arithmetic to runtime calls (paper Section 3.3):
+every floating-point operation, 16/32-bit fixed multiplication at -O0, and
+all division.  Each entry here couples
+
+* a functional implementation (:mod:`repro.dpu.softfloat` /
+  :mod:`repro.dpu.softint`), and
+* an instruction-count cost at each optimization level, anchored on the
+  thesis's Table 3.1 calibration (:mod:`repro.dpu.costs`),
+
+so the interpreter and the kernel accounting layer charge identical costs
+for identical operations, and the profiler can report per-subroutine
+occurrence counts exactly like the ``dpu-profiling`` output in Fig. 3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dpu import costs, softfloat, softint
+from repro.dpu.costs import Operation, OptLevel, Precision
+from repro.errors import DpuError
+
+
+@dataclass(frozen=True)
+class RuntimeCall:
+    """One compiler-rt subroutine: functional body plus issue-slot costs."""
+
+    name: str
+    arity: int
+    fn: Callable[..., int]
+    instructions_o0: int
+    instructions_o3: int
+    description: str
+
+    def instructions(self, opt_level: OptLevel) -> int:
+        if opt_level is OptLevel.O0:
+            return self.instructions_o0
+        return self.instructions_o3
+
+
+def _cost(op: Operation, prec: Precision, opt: OptLevel) -> int:
+    table = costs.INSTRUCTIONS_O0 if opt is OptLevel.O0 else costs.INSTRUCTIONS_O3
+    return table[(op, prec)]
+
+
+def _bool_to_cmp(result: bool) -> int:
+    """libgcc comparison helpers return an int; we use 1/0 truth values."""
+    return 1 if result else 0
+
+
+def _build_registry() -> dict[str, RuntimeCall]:
+    f = softfloat
+    entries = [
+        RuntimeCall(
+            "__addsf3", 2, f.f32_add,
+            _cost(Operation.ADD, Precision.FLOAT_32, OptLevel.O0),
+            _cost(Operation.ADD, Precision.FLOAT_32, OptLevel.O3),
+            "binary32 addition",
+        ),
+        RuntimeCall(
+            "__subsf3", 2, f.f32_sub,
+            _cost(Operation.SUB, Precision.FLOAT_32, OptLevel.O0),
+            _cost(Operation.SUB, Precision.FLOAT_32, OptLevel.O3),
+            "binary32 subtraction",
+        ),
+        RuntimeCall(
+            "__mulsf3", 2, f.f32_mul,
+            _cost(Operation.MUL, Precision.FLOAT_32, OptLevel.O0),
+            _cost(Operation.MUL, Precision.FLOAT_32, OptLevel.O3),
+            "binary32 multiplication",
+        ),
+        RuntimeCall(
+            "__divsf3", 2, f.f32_div,
+            _cost(Operation.DIV, Precision.FLOAT_32, OptLevel.O0),
+            _cost(Operation.DIV, Precision.FLOAT_32, OptLevel.O3),
+            "binary32 division",
+        ),
+        RuntimeCall(
+            "__ltsf2", 2, lambda a, b: _bool_to_cmp(f.f32_lt(a, b)),
+            18, 6, "binary32 less-than comparison",
+        ),
+        RuntimeCall(
+            "__lesf2", 2, lambda a, b: _bool_to_cmp(f.f32_le(a, b)),
+            18, 6, "binary32 less-or-equal comparison",
+        ),
+        RuntimeCall(
+            "__gtsf2", 2, lambda a, b: _bool_to_cmp(f.f32_gt(a, b)),
+            18, 6, "binary32 greater-than comparison",
+        ),
+        RuntimeCall(
+            "__gesf2", 2, lambda a, b: _bool_to_cmp(f.f32_ge(a, b)),
+            18, 6, "binary32 greater-or-equal comparison",
+        ),
+        RuntimeCall(
+            "__eqsf2", 2, lambda a, b: _bool_to_cmp(f.f32_eq(a, b)),
+            16, 5, "binary32 equality comparison",
+        ),
+        RuntimeCall(
+            "__floatsisf", 1,
+            lambda a: f.i32_to_f32(softint.to_signed(a, 32)),
+            30, 10, "int32 to binary32 conversion",
+        ),
+        RuntimeCall(
+            "__fixsfsi", 1,
+            lambda a: softint.to_unsigned(f.f32_to_i32(a), 32),
+            30, 10, "binary32 to int32 conversion (truncating)",
+        ),
+        RuntimeCall(
+            "__mulsi3", 2, softint.mulsi3,
+            _cost(Operation.MUL, Precision.FIXED_32, OptLevel.O0),
+            _cost(Operation.MUL, Precision.FIXED_32, OptLevel.O3),
+            "32-bit fixed-point multiplication",
+        ),
+        RuntimeCall(
+            "__mulhi3", 2, lambda a, b: (a * b) & 0xFFFF,
+            _cost(Operation.MUL, Precision.FIXED_16, OptLevel.O0),
+            _cost(Operation.MUL, Precision.FIXED_16, OptLevel.O3),
+            "16-bit fixed-point multiplication",
+        ),
+        RuntimeCall(
+            "__muldi3", 2, softint.muldi3,
+            2 * _cost(Operation.MUL, Precision.FIXED_32, OptLevel.O0),
+            2 * _cost(Operation.MUL, Precision.FIXED_32, OptLevel.O3),
+            "64-bit multiplication (estimated at 2x the 32-bit subroutine)",
+        ),
+        RuntimeCall(
+            "__divsi3", 2, softint.divsi3,
+            _cost(Operation.DIV, Precision.FIXED_32, OptLevel.O0),
+            _cost(Operation.DIV, Precision.FIXED_32, OptLevel.O3),
+            "signed 32-bit division",
+        ),
+        RuntimeCall(
+            "__udivsi3", 2, softint.udivsi3,
+            _cost(Operation.DIV, Precision.FIXED_32, OptLevel.O0),
+            _cost(Operation.DIV, Precision.FIXED_32, OptLevel.O3),
+            "unsigned 32-bit division",
+        ),
+        RuntimeCall(
+            "__modsi3", 2, softint.modsi3,
+            _cost(Operation.DIV, Precision.FIXED_32, OptLevel.O0),
+            _cost(Operation.DIV, Precision.FIXED_32, OptLevel.O3),
+            "signed 32-bit remainder",
+        ),
+    ]
+    return {entry.name: entry for entry in entries}
+
+
+#: All runtime calls the simulated DPU toolchain can emit.
+REGISTRY: dict[str, RuntimeCall] = _build_registry()
+
+
+def get(name: str) -> RuntimeCall:
+    """Look up a runtime call by its compiler-rt name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise DpuError(f"unknown runtime call {name!r}") from None
+
+
+def names() -> list[str]:
+    """All registered subroutine names, sorted."""
+    return sorted(REGISTRY)
+
+
+#: The subroutines an fp-heavy program calls in Fig. 3.2's profile, in the
+#: order the figure lists them.
+FIG_3_2_SUBROUTINES = (
+    "__ltsf2",
+    "__divsf3",
+    "__floatsisf",
+    "__addsf3",
+    "__muldi3",
+)

@@ -1,0 +1,157 @@
+"""Software integer arithmetic subroutines of the DPU runtime.
+
+The DPU is a 32-bit processor with an 8x8 hardware multiplier: wider fixed
+point multiplication and all division are lowered by dpu-clang to compiler-rt
+subroutines (``__mulsi3``, ``__muldi3``, ``__divsi3``, ...; paper
+Section 3.3).  This module provides functional, C-semantics implementations
+operating on two's-complement bit patterns, plus the shift-add/restoring
+algorithms written out step-wise so the instruction counts used for cycle
+accounting have a concrete basis.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DpuError
+
+_U32 = 0xFFFF_FFFF
+_U64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def to_signed(value: int, bits: int) -> int:
+    """Reinterpret the low ``bits`` of ``value`` as two's complement."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def to_unsigned(value: int, bits: int) -> int:
+    """Mask ``value`` to an unsigned ``bits``-wide pattern."""
+    return value & ((1 << bits) - 1)
+
+
+def mul8_hw(a: int, b: int) -> int:
+    """The DPU's hardware 8x8 -> 16 unsigned multiply."""
+    return (a & 0xFF) * (b & 0xFF)
+
+
+def mulsi3(a: int, b: int) -> int:
+    """``__mulsi3``: 32-bit multiply (low 32 bits; sign-agnostic)."""
+    return (a * b) & _U32
+
+
+def muldi3(a: int, b: int) -> int:
+    """``__muldi3``: 64-bit multiply (low 64 bits; sign-agnostic)."""
+    return (a * b) & _U64
+
+
+def mulsi3_shift_add(a: int, b: int) -> tuple[int, int]:
+    """Shift-add 32-bit multiply; returns ``(product, step_count)``.
+
+    This is the loop structure of the compiler-rt subroutine: one
+    test/shift/conditional-add step per multiplier bit actually scanned.
+    The step count is what the -O0 cycle calibration is grounded in.
+    """
+    a &= _U32
+    b &= _U32
+    product = 0
+    steps = 0
+    multiplier = b
+    addend = a
+    while multiplier:
+        steps += 1
+        if multiplier & 1:
+            product = (product + addend) & _U32
+        addend = (addend << 1) & _U32
+        multiplier >>= 1
+    return product, steps
+
+
+def mulsi3_via_mul8(a: int, b: int) -> tuple[int, int]:
+    """32-bit multiply composed from 8x8 hardware multiplies.
+
+    Returns ``(product, partial_count)``.  The DPU's optimized lowering
+    builds wide products from the 8x8 multiplier; a 32x32 low product needs
+    10 partials (only byte pairs with combined offset < 4 contribute).
+    """
+    a &= _U32
+    b &= _U32
+    a_bytes = [(a >> (8 * i)) & 0xFF for i in range(4)]
+    b_bytes = [(b >> (8 * i)) & 0xFF for i in range(4)]
+    product = 0
+    partials = 0
+    for i in range(4):
+        for j in range(4 - i):
+            product += mul8_hw(a_bytes[i], b_bytes[j]) << (8 * (i + j))
+            partials += 1
+    return product & _U32, partials
+
+
+def divsi3(a: int, b: int) -> int:
+    """``__divsi3``: signed 32-bit division, truncating toward zero."""
+    a = to_signed(a, 32)
+    b = to_signed(b, 32)
+    if b == 0:
+        raise DpuError("division by zero in __divsi3")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return to_unsigned(quotient, 32)
+
+
+def modsi3(a: int, b: int) -> int:
+    """``__modsi3``: signed 32-bit remainder (sign follows the dividend)."""
+    a_s = to_signed(a, 32)
+    b_s = to_signed(b, 32)
+    if b_s == 0:
+        raise DpuError("division by zero in __modsi3")
+    remainder = abs(a_s) % abs(b_s)
+    if a_s < 0:
+        remainder = -remainder
+    return to_unsigned(remainder, 32)
+
+
+def udivsi3(a: int, b: int) -> int:
+    """``__udivsi3``: unsigned 32-bit division."""
+    a &= _U32
+    b &= _U32
+    if b == 0:
+        raise DpuError("division by zero in __udivsi3")
+    return a // b
+
+
+def udivsi3_restoring(a: int, b: int) -> tuple[int, int, int]:
+    """Restoring division; returns ``(quotient, remainder, step_count)``.
+
+    One compare/shift/subtract step per dividend bit — the structure behind
+    the constant ~368-cycle division cost in Table 3.1 (the loop always runs
+    the full width regardless of operand precision, which is why the thesis
+    sees the same division cost at 8, 16 and 32 bits).
+    """
+    a &= _U32
+    b &= _U32
+    if b == 0:
+        raise DpuError("division by zero in restoring division")
+    quotient = 0
+    remainder = 0
+    steps = 0
+    for bit in range(31, -1, -1):
+        steps += 1
+        remainder = (remainder << 1) | ((a >> bit) & 1)
+        quotient <<= 1
+        if remainder >= b:
+            remainder -= b
+            quotient |= 1
+    return quotient, remainder, steps
+
+
+def saturate(value: int, bits: int) -> int:
+    """Clamp a signed value into ``bits``-wide two's-complement range.
+
+    The YOLOv3 GEMM (Algorithm 2) clamps accumulator outputs with
+    ``absolutemax(x, 32767)``; this is the general form.
+    """
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return max(lo, min(hi, value))

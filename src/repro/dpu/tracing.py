@@ -1,0 +1,112 @@
+"""Execution tracing for the DPU interpreter.
+
+Wraps an :class:`~repro.dpu.interpreter.Interpreter` run with a
+per-dispatch event recorder — (cycle, tasklet, pc, instruction text) — and
+renders trace listings, the tool you reach for when a multi-tasklet kernel
+misbehaves.  Tracing changes nothing about execution or timing; it only
+observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dpu.costs import OptLevel
+from repro.dpu.interpreter import ExecutionResult, Interpreter
+from repro.dpu.isa import Program
+from repro.dpu.memory import DmaEngine, Mram, Wram
+from repro.errors import DpuError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One dispatched instruction."""
+
+    cycle: float
+    tasklet: int
+    pc: int
+    text: str
+
+
+@dataclass
+class Trace:
+    """A recorded execution with query and rendering helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    result: ExecutionResult | None = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def for_tasklet(self, tasklet: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.tasklet == tasklet]
+
+    def at_pc(self, pc: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.pc == pc]
+
+    def dispatch_count(self, pc: int) -> int:
+        """How many times the instruction at ``pc`` dispatched (spins show
+        up here: an ACQUIRE retry re-dispatches the same pc)."""
+        return len(self.at_pc(pc))
+
+    def render(self, limit: int = 50) -> str:
+        """A listing of the first ``limit`` events in dispatch order."""
+        lines = [f"{'cycle':>10s}  {'tsk':>3s}  {'pc':>4s}  instruction"]
+        for event in sorted(self.events, key=lambda e: (e.cycle, e.tasklet))[:limit]:
+            lines.append(
+                f"{event.cycle:10.1f}  {event.tasklet:3d}  "
+                f"{event.pc:4d}  {event.text}"
+            )
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+
+class TracingInterpreter(Interpreter):
+    """An interpreter that records every dispatch into a :class:`Trace`."""
+
+    def __init__(self, *args, trace_limit: int = 1_000_000, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if trace_limit < 1:
+            raise DpuError(f"trace limit must be positive, got {trace_limit}")
+        self.trace = Trace()
+        self._trace_limit = trace_limit
+
+    def _execute(self, instruction, state, tid, clock):
+        if len(self.trace.events) < self._trace_limit:
+            self.trace.events.append(
+                TraceEvent(
+                    cycle=clock.next_ready[tid],
+                    tasklet=tid,
+                    pc=state.pc,
+                    text=str(instruction),
+                )
+            )
+        return super()._execute(instruction, state, tid, clock)
+
+    def run(self) -> ExecutionResult:
+        result = super().run()
+        self.trace.result = result
+        return result
+
+
+def trace_program(
+    program: Program,
+    *,
+    wram: Wram | None = None,
+    n_tasklets: int = 1,
+    opt_level: OptLevel = OptLevel.O0,
+    trace_limit: int = 1_000_000,
+) -> Trace:
+    """Run a program under tracing; returns the populated trace."""
+    wram = wram or Wram()
+    interpreter = TracingInterpreter(
+        program,
+        wram,
+        DmaEngine(Mram(), wram),
+        n_tasklets=n_tasklets,
+        opt_level=opt_level,
+        trace_limit=trace_limit,
+    )
+    interpreter.run()
+    return interpreter.trace

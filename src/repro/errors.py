@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DpuError(ReproError):
+    """Base class for errors raised by the DPU simulator."""
+
+
+class DpuMemoryError(DpuError):
+    """Out-of-bounds, misaligned, or oversized DPU memory access."""
+
+
+class DpuAlignmentError(DpuMemoryError):
+    """An access or transfer violated an alignment constraint."""
+
+
+class DpuFaultError(DpuError):
+    """The DPU program performed an illegal operation (bad opcode, trap)."""
+
+
+class DpuLimitError(DpuError):
+    """A hardware limit was exceeded (tasklets, WRAM stack, IRAM size)."""
+
+
+class AssemblerError(DpuError):
+    """The DPU assembler rejected a source program."""
+
+
+class HostError(ReproError):
+    """Base class for errors raised by the host runtime."""
+
+
+class AllocationError(HostError):
+    """The host asked for more DPUs (or ranks) than the system provides."""
+
+
+class TransferError(HostError):
+    """A host<->DPU transfer violated size, alignment, or symbol rules."""
+
+
+class SymbolError(TransferError):
+    """A transfer referenced a symbol the loaded DPU program does not define."""
+
+
+class LaunchError(HostError):
+    """A DPU launch failed (no program loaded, bad tasklet count, fault)."""
+
+
+class ModelError(ReproError):
+    """Invalid parameters passed to the analytical PIM performance model."""
+
+
+class WorkloadError(ReproError):
+    """Invalid or unknown workload definition (layer table, op counts)."""
+
+
+class QuantizationError(ReproError):
+    """Invalid quantization parameters (bits, scale, ranges)."""
+
+
+class MappingError(ReproError):
+    """A CNN-to-DPU mapping scheme received an unmappable configuration."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured or an unknown id requested."""

@@ -1,0 +1,29 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Importing this package registers all drivers; run one with::
+
+    from repro import experiments
+    print(experiments.run("table_5_4").render())
+"""
+
+from repro.experiments import (  # noqa: F401  (import registers the drivers)
+    ablations,
+    chapter3,
+    chapter4,
+    chapter5,
+)
+from repro.experiments.base import (
+    REGISTRY,
+    ExperimentResult,
+    available,
+    register,
+    run,
+)
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentResult",
+    "available",
+    "register",
+    "run",
+]

@@ -1,0 +1,355 @@
+"""Ablation experiments beyond the paper's published figures.
+
+These quantify the improvements Section 4.3.4 proposes and the parametric
+study Section 6.1 leaves as future work:
+
+* ``ablation_frequency`` — raise the DPU clock from 350 MHz to the
+  600 MHz UPMEM's whitepaper originally announced.
+* ``ablation_wram`` — grow WRAM until the YOLOv3 accumulator fits,
+  flipping layers out of the MRAM-bound regime.
+* ``ablation_network_size`` — sweep YOLOv3 input sizes and eBNN image
+  sizes to locate where the UPMEM mapping starts losing (the exact
+  "what depth/size of CNN fits UPMEM" question of Section 6.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping_ebnn import IMAGES_PER_DPU, ebnn_dpu_cycles
+from repro.core.mapping_yolo import (
+    CTMP_WRAM_BUDGET_BYTES,
+    AccumulatorPolicy,
+    yolo_network_timing,
+)
+from repro.dpu.attributes import ANNOUNCED_FREQUENCY_HZ, UPMEM_ATTRIBUTES
+from repro.dpu.costs import OptLevel
+from repro.experiments.base import ExperimentResult, register
+from repro.host.alignment import align_up
+from repro.nn.models.darknet import Yolov3Model
+from repro.nn.models.ebnn import EbnnConfig
+
+
+@register("ablation_frequency")
+def ablation_frequency() -> ExperimentResult:
+    """Section 4.3.4: what the announced 600 MHz clock would buy."""
+    result = ExperimentResult(
+        "ablation_frequency",
+        "DPU clock what-if: 350 MHz (shipped) vs 600 MHz (announced)",
+        ["workload", "at_350MHz_s", "at_600MHz_s", "speedup"],
+    )
+    ebnn_cycles = ebnn_dpu_cycles(EbnnConfig(), opt_level=OptLevel.O3)
+    yolo = yolo_network_timing(
+        Yolov3Model(416), opt_level=OptLevel.O3, n_tasklets=11
+    )
+    for name, cycles in (
+        ("eBNN (16-image batch)", ebnn_cycles),
+        ("YOLOv3 (single image)", sum(l.cycles for l in yolo.layers)),
+    ):
+        at_350 = cycles / UPMEM_ATTRIBUTES.frequency_hz
+        at_600 = cycles / ANNOUNCED_FREQUENCY_HZ
+        result.add_row(name, at_350, at_600, at_350 / at_600)
+    result.notes.append(
+        "cycle counts are frequency-independent in this model, so the "
+        "gain is the full 600/350 = 1.71x; on real hardware DMA and "
+        "refresh timings would claw some back"
+    )
+    return result
+
+
+@register("ablation_wram")
+def ablation_wram() -> ExperimentResult:
+    """Section 4.3.4: grow WRAM until YOLOv3's buffers fit."""
+    model = Yolov3Model(416)
+    result = ExperimentResult(
+        "ablation_wram",
+        "YOLOv3 latency vs. WRAM available for the ctmp accumulator",
+        ["ctmp_budget_KB", "total_s", "mram_bound_layers", "speedup_vs_baseline"],
+    )
+    baseline = None
+    for budget_kb in (8, 16, 32, 64, 128, 192, 256, 512, 768):
+        timing = yolo_network_timing(
+            model,
+            opt_level=OptLevel.O3,
+            n_tasklets=11,
+            ctmp_budget_bytes=budget_kb * 1024,
+        )
+        mram_layers = sum(
+            1 for l in timing.layers if l.policy is AccumulatorPolicy.MRAM
+        )
+        if baseline is None:
+            baseline = timing.total_seconds
+        result.add_row(
+            budget_kb,
+            timing.total_seconds,
+            mram_layers,
+            baseline / timing.total_seconds,
+        )
+    result.notes.append(
+        f"baseline budget is {CTMP_WRAM_BUDGET_BYTES // 1024} KB (64 KB WRAM "
+        f"minus 11 tasklet stacks); the largest layer's ctmp is 4 x 173056 "
+        f"= 676 KB — the paper's 'increase WRAM' improvement needs ~700 KB "
+        f"to fully retire the MRAM regime"
+    )
+    return result
+
+
+@register("future_multi_image_yolo")
+def future_multi_image_yolo() -> ExperimentResult:
+    """Section 6.1, quantified: whole-image-per-DPU YOLOv3 vs row mapping.
+
+    For several width-scaled variants: can one DPU hold a whole
+    inference, and if so what does emulating the eBNN multi-image scheme
+    buy in throughput (and cost in latency)?
+    """
+    from repro.core.batch_yolo import compare_mappings
+
+    result = ExperimentResult(
+        "future_multi_image_yolo",
+        "YOLOv3 whole-image-per-DPU vs GEMM-row-per-DPU",
+        [
+            "width_scale", "footprint_MB", "fits_one_dpu",
+            "row_latency_s", "whole_latency_s",
+            "throughput_advantage", "latency_penalty",
+        ],
+    )
+    for width_scale in (1.0, 0.5, 0.25, 0.125):
+        model = Yolov3Model(416, width_scale=width_scale)
+        comparison = compare_mappings(model)
+        result.add_row(
+            width_scale,
+            comparison.footprint_bytes / 1e6,
+            comparison.feasible,
+            comparison.row_latency_s,
+            comparison.whole_latency_s if comparison.feasible else float("nan"),
+            comparison.throughput_advantage if comparison.feasible else float("nan"),
+            comparison.latency_penalty if comparison.feasible else float("nan"),
+        )
+    result.notes.append(
+        "full-width YOLOv3 cannot adopt the eBNN scheme: its int16 weights "
+        "alone (124 MB) exceed one DPU's 64 MB MRAM; at half width the "
+        "scheme trades ~80x single-frame latency for ~30x throughput"
+    )
+    return result
+
+
+@register("alexnet_mapping")
+def alexnet_mapping() -> ExperimentResult:
+    """Section 6.1's "AlexNet to ResNet" direction, started with AlexNet.
+
+    Maps AlexNet layer by layer through the Fig. 4.6 GEMM-row scheme on
+    the mechanistic simulator, and places the result next to the
+    Chapter 5 analytical prediction (Table 5.1's T_comp = 0.254 s) — the
+    two estimation paths of this reproduction meeting on a third network.
+    """
+    from repro.core.mapping_yolo import AccumulatorPolicy, gemm_layer_cycles
+    from repro.nn.models.alexnet import ALEXNET_LAYERS, gemm_shapes
+    from repro.pimmodel.compute_model import table_5_1
+
+    result = ExperimentResult(
+        "alexnet_mapping",
+        "AlexNet under the GEMM-row mapping (simulator vs Ch.5 model)",
+        ["layer", "M", "N", "K", "dpus", "policy", "seconds"],
+    )
+    total_seconds = 0.0
+    for layer, shape in zip(ALEXNET_LAYERS, gemm_shapes()):
+        policy = AccumulatorPolicy.for_shape(shape)
+        cycles = gemm_layer_cycles(
+            shape, n_tasklets=11, opt_level=OptLevel.O3, policy=policy
+        )
+        seconds = UPMEM_ATTRIBUTES.cycles_to_seconds(cycles)
+        total_seconds += seconds
+        result.add_row(
+            layer.name, shape.m, shape.n, shape.k,
+            min(shape.m, UPMEM_ATTRIBUTES.n_dpus), policy.value, seconds,
+        )
+    analytical = table_5_1()["UPMEM"].compute_seconds_workload
+    result.notes.append(
+        f"simulated total: {total_seconds:.3f} s; the Chapter 5 model's "
+        f"UPMEM T_comp for AlexNet is {analytical:.3f} s — the mechanistic "
+        f"mapping adds the MRAM traffic the pure compute model omits"
+    )
+    result.notes.append(
+        "AlexNet sits between the paper's two CNNs: conv1/conv2 are "
+        "MRAM-bound like YOLOv3's early layers, the 13x13 and FC layers "
+        "are WRAM-friendly like eBNN"
+    )
+    return result
+
+
+@register("cnn_size_study")
+def cnn_size_study() -> ExperimentResult:
+    """Section 6.1 completed: eBNN -> AlexNet -> ResNet-18 -> YOLOv3.
+
+    All four networks under this reproduction's UPMEM mapping, with the
+    crossover diagnostics the thesis asks for: per-inference latency and
+    how much of it the MRAM-bound regime eats.
+    """
+    from repro.core.mapping_ebnn import ebnn_image_latency_seconds
+    from repro.core.mapping_yolo import (
+        AccumulatorPolicy,
+        gemm_layer_cycles,
+        yolo_network_timing,
+    )
+    from repro.nn.models import alexnet, resnet
+    from repro.nn.models.ebnn import EbnnConfig
+
+    def gemm_network(shapes):
+        total_seconds = 0.0
+        mram_seconds = 0.0
+        for shape in shapes:
+            policy = AccumulatorPolicy.for_shape(shape)
+            cycles = gemm_layer_cycles(
+                shape, n_tasklets=11, opt_level=OptLevel.O3, policy=policy
+            )
+            seconds = UPMEM_ATTRIBUTES.cycles_to_seconds(cycles)
+            total_seconds += seconds
+            if policy is AccumulatorPolicy.MRAM:
+                mram_seconds += seconds
+        return total_seconds, mram_seconds / total_seconds
+
+    result = ExperimentResult(
+        "cnn_size_study",
+        "CNN size study on the UPMEM mapping (eBNN to YOLOv3)",
+        ["network", "macs", "latency_s", "mram_time_fraction"],
+    )
+    ebnn_config = EbnnConfig()
+    result.add_row(
+        "eBNN",
+        16 * ebnn_config.conv_macs_per_image(),
+        ebnn_image_latency_seconds(
+            ebnn_config, UPMEM_ATTRIBUTES, opt_level=OptLevel.O3
+        ),
+        0.0,
+    )
+    alex_seconds, alex_mram = gemm_network(alexnet.gemm_shapes())
+    result.add_row("AlexNet", alexnet.total_macs(), alex_seconds, alex_mram)
+    resnet_seconds, resnet_mram = gemm_network(resnet.gemm_shapes())
+    result.add_row("ResNet-18", resnet.total_macs(), resnet_seconds, resnet_mram)
+    yolo = yolo_network_timing(
+        Yolov3Model(416), opt_level=OptLevel.O3, n_tasklets=11
+    )
+    yolo_mram = sum(
+        l.seconds for l in yolo.layers if l.policy is AccumulatorPolicy.MRAM
+    ) / yolo.total_seconds
+    result.add_row(
+        "YOLOv3", Yolov3Model(416).total_macs(), yolo.total_seconds, yolo_mram
+    )
+    result.notes.append(
+        "the answer to Section 6.1's question: the mapping degrades with "
+        "output-pixel count (N), not depth — networks whose layers keep "
+        "4N bytes inside WRAM (eBNN, late AlexNet/ResNet stages) run "
+        "compute-bound; high-resolution feature maps go MRAM-bound"
+    )
+    return result
+
+
+@register("ablation_overlap")
+def ablation_overlap() -> ExperimentResult:
+    """Relaxing the model's no-overlap assumption (Section 5.1).
+
+    The thesis's Eq. 5.1 assumes a worst-case PIM where memory transfer
+    and computation never overlap.  Sweeping an overlap fraction shows
+    how much that assumption costs each architecture on 8-bit AlexNet —
+    bounded by the smaller of T_mem and T_comp, so compute-dominated
+    designs barely move while balanced ones gain.
+    """
+    from repro.pimmodel.compute_model import table_5_1
+    from repro.pimmodel.equations import total_seconds_overlapped
+    from repro.pimmodel.memory_model import table_5_3
+
+    compute = table_5_1()
+    memory = table_5_3()
+    result = ExperimentResult(
+        "ablation_overlap",
+        "Eq. 5.1 with partial transfer/compute overlap (8-bit AlexNet)",
+        ["architecture", "overlap", "total_s", "gain_vs_serial"],
+    )
+    for name in ("pPIM", "DRISA", "UPMEM"):
+        t_mem = memory[name].memory_seconds
+        t_comp = compute[name].compute_seconds_workload
+        serial = total_seconds_overlapped(t_mem, t_comp, 0.0)
+        for overlap in (0.0, 0.5, 1.0):
+            total = total_seconds_overlapped(t_mem, t_comp, overlap)
+            result.add_row(name, overlap, total, serial / total)
+    result.notes.append(
+        "gains are capped by min(T_mem, T_comp)/T_tot: ~6% for pPIM, "
+        "~1% for UPMEM, negligible for DRISA — the no-overlap assumption "
+        "is conservative but not distorting for these designs"
+    )
+    return result
+
+
+@register("energy_comparison")
+def energy_comparison() -> ExperimentResult:
+    """Energy view of Table 5.4: joules and EDP per inference.
+
+    Fig. 5.7's frames/s-W inverted into the metric an accelerator
+    selection actually budgets: energy per frame, plus energy-delay
+    product for the latency-sensitive view.
+    """
+    from repro.pimmodel.energy import energy_table
+
+    result = ExperimentResult(
+        "energy_comparison",
+        "Energy per inference and EDP across PIMs (8-bit)",
+        ["architecture", "workload", "latency_s", "power_W", "energy_J", "EDP_Js"],
+    )
+    for row in energy_table():
+        result.add_row(
+            row.architecture, row.workload, row.latency_s,
+            row.power_w, row.energy_j, row.edp_js,
+        )
+    result.notes.append(
+        "energy = latency x the Table 5.4 normalization power (the "
+        "silicon serving the inference); 1/energy reproduces the "
+        "published frames/s-W exactly"
+    )
+    return result
+
+
+@register("ablation_network_size")
+def ablation_network_size() -> ExperimentResult:
+    """Section 6.1: where does the UPMEM mapping start losing?
+
+    Sweeps the YOLOv3 input resolution (depth fixed) and reports per-image
+    latency plus how much of it is MRAM-regime time — the crossover the
+    future-work section asks for.  An eBNN image-size sweep rides along:
+    eBNN stays WRAM-friendly until its staging exceeds the 2048-byte DMA
+    cap.
+    """
+    result = ExperimentResult(
+        "ablation_network_size",
+        "Network/input-size sweep: latency and memory regime",
+        ["network", "input_size", "latency_s", "mram_time_fraction"],
+    )
+    for input_size in (96, 160, 224, 320, 416, 608):
+        model = Yolov3Model(input_size)
+        timing = yolo_network_timing(
+            model, opt_level=OptLevel.O3, n_tasklets=11
+        )
+        mram_fraction = (
+            sum(l.seconds for l in timing.layers
+                if l.policy is AccumulatorPolicy.MRAM)
+            / timing.total_seconds
+        )
+        result.add_row(
+            "yolov3", input_size, timing.total_seconds, mram_fraction
+        )
+    for image_size in (14, 28, 56, 112):
+        config = EbnnConfig(image_size=image_size)
+        packed = align_up(-(-image_size**2 // 8))
+        images = min(IMAGES_PER_DPU, max(1, 2048 // packed))
+        cycles = ebnn_dpu_cycles(
+            config,
+            n_images=images,
+            images_per_dpu=images,
+            opt_level=OptLevel.O3,
+        )
+        latency = UPMEM_ATTRIBUTES.cycles_to_seconds(cycles) / images
+        result.add_row("ebnn", image_size, latency, 0.0)
+    result.notes.append(
+        "YOLOv3 is MRAM-bound from 96px upward (ctmp = 4*N bytes exceeds "
+        "the post-stack WRAM at every 32-multiple input); eBNN stays "
+        "WRAM-resident but its per-DPU batch shrinks as images grow past "
+        "the 2048-byte staging cap"
+    )
+    return result

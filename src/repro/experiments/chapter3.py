@@ -1,0 +1,108 @@
+"""Chapter 3 experiments: platform characterization.
+
+* ``table_2_1`` — the UPMEM platform attribute sheet.
+* ``eq_3_4`` — MRAM access cycles as a function of transfer size.
+* ``table_3_1`` — per-operation cycle costs measured with the perfcounter
+  bracket on the simulated DPU, against the thesis's measurements.
+* ``fig_3_2`` — subroutine occurrence profile of an fp-heavy DPU program.
+"""
+
+from __future__ import annotations
+
+from repro.dpu import microbench
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.dpu.costs import (
+    Operation,
+    Precision,
+    TABLE_3_1_MEASURED,
+    mram_access_cycles,
+)
+from repro.experiments.base import ExperimentResult, register
+
+_PRECISION_ORDER = (
+    Precision.FIXED_8,
+    Precision.FIXED_16,
+    Precision.FIXED_32,
+    Precision.FLOAT_32,
+)
+
+_OPERATION_ORDER = (
+    Operation.ADD,
+    Operation.MUL,
+    Operation.SUB,
+    Operation.DIV,
+)
+
+
+@register("table_2_1")
+def table_2_1() -> ExperimentResult:
+    """Table 2.1: UPMEM PIM attributes."""
+    result = ExperimentResult(
+        "table_2_1",
+        "UPMEM PIM Attributes",
+        ["attribute", "value"],
+    )
+    for name, value in UPMEM_ATTRIBUTES.as_table():
+        result.add_row(name, value)
+    return result
+
+
+@register("eq_3_4")
+def eq_3_4() -> ExperimentResult:
+    """Eq. 3.4: MRAM->WRAM DMA cycle cost over transfer sizes."""
+    result = ExperimentResult(
+        "eq_3_4",
+        "MRAM access cycles = 25 + bytes/2 (Eq. 3.4)",
+        ["transfer_bytes", "cycles", "cycles_per_byte"],
+    )
+    for size in (8, 16, 32, 64, 128, 256, 512, 1024, 2048):
+        cycles = mram_access_cycles(size)
+        result.add_row(size, cycles, cycles / size)
+    result.notes.append(
+        "the paper's worked example: 2048 bytes -> 25 + 1024 = 1049 cycles"
+    )
+    return result
+
+
+@register("table_3_1")
+def table_3_1() -> ExperimentResult:
+    """Table 3.1: cycles per operation, simulated vs thesis-measured."""
+    result = ExperimentResult(
+        "table_3_1",
+        "Cycles per operation in a single DPU (-O0, perfcounter bracket)",
+        ["precision", "operation", "paper_cycles", "simulated_cycles", "delta"],
+    )
+    for precision in _PRECISION_ORDER:
+        for operation in _OPERATION_ORDER:
+            paper = TABLE_3_1_MEASURED[(operation, precision)]
+            simulated = microbench.measure_operation_cycles(operation, precision)
+            result.add_row(
+                precision.value, operation.value, paper, simulated,
+                simulated - paper,
+            )
+    result.notes.append(
+        "simulated = instruction count x 11-stage pipeline + 52-cycle "
+        "profiling bracket; calibration derivation in repro.dpu.costs"
+    )
+    return result
+
+
+@register("fig_3_2")
+def fig_3_2() -> ExperimentResult:
+    """Fig. 3.2: #occ profile of a DPU program with float computations."""
+    execution = microbench.run_float_profile(n_elements=16)
+    result = ExperimentResult(
+        "fig_3_2",
+        "Subroutine occurrence profile of an fp-heavy DPU program",
+        ["subroutine", "occurrences", "single_tasklet_cycles"],
+    )
+    for name, occurrences in execution.profile.as_rows():
+        record = execution.profile.records[name]
+        result.add_row(name, occurrences, record.cycles_single_tasklet())
+    result.notes.append(
+        "same subroutine family the thesis profiles: __ltsf2 (compare), "
+        "__divsf3 (divide), __floatsisf (convert), __addsf3 (add), "
+        "__muldi3 (multiply)"
+    )
+    result.notes.append(f"program ran {execution.cycles:.0f} cycles total")
+    return result

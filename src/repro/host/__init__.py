@@ -1,0 +1,56 @@
+"""Host runtime for the simulated UPMEM system (the SDK stand-in)."""
+
+from repro.host.alignment import (
+    TRANSFER_ALIGNMENT,
+    PaddedBuffer,
+    align_up,
+    is_aligned,
+    pad_array,
+    pad_buffer,
+    padding_needed,
+    validate_transfer,
+)
+from repro.host.runtime import (
+    AsyncLaunch,
+    DpuSet,
+    DpuSystem,
+    LaunchReport,
+    wait_all,
+)
+from repro.host.topology import DpuAddress, SystemTopology
+from repro.host.transfer import (
+    GLOBAL_TRANSFER_STATS,
+    TransferStats,
+    XferBatch,
+    XferDirection,
+    copy_from,
+    copy_to,
+    gather_rows,
+    scatter_rows,
+)
+
+__all__ = [
+    "TRANSFER_ALIGNMENT",
+    "PaddedBuffer",
+    "align_up",
+    "is_aligned",
+    "pad_array",
+    "pad_buffer",
+    "padding_needed",
+    "validate_transfer",
+    "AsyncLaunch",
+    "DpuSet",
+    "DpuSystem",
+    "LaunchReport",
+    "wait_all",
+    "DpuAddress",
+    "SystemTopology",
+    "GLOBAL_TRANSFER_STATS",
+    "TransferStats",
+    "XferBatch",
+    "XferDirection",
+    "copy_from",
+    "copy_to",
+    "gather_rows",
+    "scatter_rows",
+]

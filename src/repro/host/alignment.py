@@ -1,0 +1,87 @@
+"""Host<->DPU transfer alignment and padding rules (paper Section 3.2).
+
+The UPMEM SDK requires every buffer orchestrated into MRAM to be aligned on
+8 bytes and its size to be divisible by 8.  Buffers that are not naturally
+sized must be padded, and — so the DPU does not compute over padding — the
+*actual* (unpadded) size has to be communicated to the DPU separately.
+These helpers implement that protocol; the transfer layer enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TransferError
+
+#: Required alignment/divisibility for host<->MRAM transfers.
+TRANSFER_ALIGNMENT = 8
+
+
+def is_aligned(n: int, alignment: int = TRANSFER_ALIGNMENT) -> bool:
+    """Whether ``n`` (a size or an offset) satisfies the alignment rule."""
+    return n % alignment == 0
+
+
+def align_up(n: int, alignment: int = TRANSFER_ALIGNMENT) -> int:
+    """Smallest multiple of ``alignment`` that is >= ``n``."""
+    if n < 0:
+        raise TransferError(f"cannot align negative size {n}")
+    return -(-n // alignment) * alignment
+
+
+def padding_needed(n: int, alignment: int = TRANSFER_ALIGNMENT) -> int:
+    """Bytes of padding required to make ``n`` transfer-legal."""
+    return align_up(n, alignment) - n
+
+
+@dataclass(frozen=True)
+class PaddedBuffer:
+    """A transfer-legal byte buffer plus the actual payload size.
+
+    ``data`` always has a length divisible by 8; ``actual_size`` is what the
+    DPU must be told so it ignores the padding (Section 3.2's protocol).
+    """
+
+    data: bytes
+    actual_size: int
+
+    @property
+    def padded_size(self) -> int:
+        return len(self.data)
+
+    @property
+    def padding(self) -> int:
+        return len(self.data) - self.actual_size
+
+    def unpadded(self) -> bytes:
+        """The payload with padding stripped."""
+        return self.data[: self.actual_size]
+
+
+def pad_buffer(data: bytes | bytearray | memoryview, fill: int = 0) -> PaddedBuffer:
+    """Pad a byte buffer up to the next 8-byte boundary."""
+    raw = bytes(data)
+    pad = padding_needed(len(raw))
+    return PaddedBuffer(data=raw + bytes([fill]) * pad, actual_size=len(raw))
+
+
+def pad_array(values: np.ndarray, fill: int = 0) -> PaddedBuffer:
+    """Pad a numpy array's byte image up to the next 8-byte boundary."""
+    return pad_buffer(np.ascontiguousarray(values).tobytes(), fill)
+
+
+def validate_transfer(size: int, offset: int = 0) -> None:
+    """Reject a transfer whose size or offset violates the SDK rules."""
+    if size <= 0:
+        raise TransferError(f"transfer size must be positive, got {size}")
+    if not is_aligned(size):
+        raise TransferError(
+            f"transfer size {size} is not divisible by {TRANSFER_ALIGNMENT}; "
+            f"pad the buffer (pad_buffer) and send the actual size separately"
+        )
+    if offset < 0 or not is_aligned(offset):
+        raise TransferError(
+            f"transfer offset {offset} is not {TRANSFER_ALIGNMENT}-byte aligned"
+        )

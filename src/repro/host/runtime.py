@@ -1,0 +1,268 @@
+"""Host runtime: DPU allocation, program load, launch and synchronization.
+
+The host application drives the PIM system through this module the way a
+UPMEM host binary drives the SDK: allocate a set of DPUs (``dpu_alloc``),
+load an image onto all of them (``dpu_load``), move data with the transfer
+API, launch, synchronize, and read results back.
+
+Launches across a set are *parallel in simulated time*: every DPU runs the
+same image on its own data (the SIMD-across-DIMMs model of Section 3.1),
+so the set's elapsed time is the maximum over its members.  Host-side
+Python executes them sequentially, but all reported latencies come from
+the simulated clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
+from repro.dpu.costs import OptLevel
+from repro.dpu.device import Dpu, DpuImage
+from repro.host import transfer as xfer
+from repro.host.topology import SystemTopology
+from repro.errors import AllocationError, LaunchError
+
+
+@dataclass
+class LaunchReport:
+    """Timing summary of one set-wide launch."""
+
+    cycles: float
+    seconds: float
+    per_dpu_cycles: list[float]
+    n_dpus: int
+    n_tasklets: int
+
+    @property
+    def slowest_dpu(self) -> int:
+        return int(np.argmax(self.per_dpu_cycles))
+
+
+class DpuSet:
+    """A host handle over an allocated group of DPUs."""
+
+    def __init__(self, dpus: list[Dpu], attributes: UpmemAttributes) -> None:
+        if not dpus:
+            raise AllocationError("empty DPU set")
+        self.dpus = dpus
+        self.attributes = attributes
+        self.image: DpuImage | None = None
+        self.last_report: LaunchReport | None = None
+
+    def __len__(self) -> int:
+        return len(self.dpus)
+
+    def __iter__(self):
+        return iter(self.dpus)
+
+    def __getitem__(self, index: int) -> Dpu:
+        return self.dpus[index]
+
+    # ------------------------------------------------------------------ #
+    # program management
+    # ------------------------------------------------------------------ #
+
+    def load(self, image: DpuImage) -> None:
+        """``dpu_load``: load the image onto every DPU of the set."""
+        for dpu in self.dpus:
+            dpu.load(image)
+        self.image = image
+
+    # ------------------------------------------------------------------ #
+    # transfers (thin wrappers over repro.host.transfer)
+    # ------------------------------------------------------------------ #
+
+    def broadcast(self, symbol: str, data, *, offset: int = 0) -> None:
+        """Send the same buffer to every DPU (``dpu_copy_to``)."""
+        xfer.copy_to(self.dpus, symbol, data, symbol_offset=offset)
+
+    def scatter(self, symbol: str, rows) -> int:
+        """Send a different row to each DPU; returns the padded length."""
+        return xfer.scatter_rows(self.dpus, symbol, rows)
+
+    def gather(self, symbol: str, length: int) -> list[bytes]:
+        """Read the same symbol back from every DPU."""
+        return xfer.gather_rows(self.dpus, symbol, length)
+
+    # ------------------------------------------------------------------ #
+    # launch
+    # ------------------------------------------------------------------ #
+
+    def launch(
+        self,
+        *,
+        n_tasklets: int = 1,
+        opt_level: OptLevel = OptLevel.O0,
+        **kernel_params,
+    ) -> LaunchReport:
+        """``dpu_launch`` + sync: run every DPU, report the set's timing."""
+        if self.image is None:
+            raise LaunchError("launch before load")
+        per_dpu = []
+        for dpu in self.dpus:
+            result = dpu.launch(
+                n_tasklets=n_tasklets, opt_level=opt_level, **kernel_params
+            )
+            per_dpu.append(float(result.cycles))
+        cycles = max(per_dpu)
+        report = LaunchReport(
+            cycles=cycles,
+            seconds=self.attributes.cycles_to_seconds(cycles),
+            per_dpu_cycles=per_dpu,
+            n_dpus=len(self.dpus),
+            n_tasklets=n_tasklets,
+        )
+        self.last_report = report
+        return report
+
+    def launch_async(
+        self,
+        *,
+        n_tasklets: int = 1,
+        opt_level: OptLevel = OptLevel.O0,
+        **kernel_params,
+    ) -> "AsyncLaunch":
+        """``dpu_launch(..., DPU_ASYNCHRONOUS)``: returns a wait handle."""
+        return AsyncLaunch(
+            self.launch(
+                n_tasklets=n_tasklets, opt_level=opt_level, **kernel_params
+            )
+        )
+
+
+class AsyncLaunch:
+    """Handle for a launch issued in the SDK's asynchronous mode.
+
+    The simulator executes eagerly (simulated time is the only clock that
+    matters), but the handle preserves the SDK's contract: the report is
+    only observable through :meth:`wait`, and several outstanding launches
+    can be synchronized together with :func:`wait_all`, whose combined
+    time is the slowest set — the rank-level overlap a host exploits.
+    """
+
+    def __init__(self, report: LaunchReport) -> None:
+        self._report = report
+        self.done = False
+
+    def wait(self) -> LaunchReport:
+        """``dpu_sync``: block until the launch completes."""
+        self.done = True
+        return self._report
+
+
+def wait_all(handles: list[AsyncLaunch]) -> LaunchReport:
+    """Synchronize several asynchronous launches (sets ran in parallel)."""
+    if not handles:
+        raise LaunchError("wait_all on an empty handle list")
+    reports = [handle.wait() for handle in handles]
+    slowest = max(reports, key=lambda r: r.cycles)
+    return LaunchReport(
+        cycles=slowest.cycles,
+        seconds=slowest.seconds,
+        per_dpu_cycles=[c for r in reports for c in r.per_dpu_cycles],
+        n_dpus=sum(r.n_dpus for r in reports),
+        n_tasklets=slowest.n_tasklets,
+    )
+
+
+class DpuSystem:
+    """The whole PIM server: topology plus lazily instantiated DPUs.
+
+    DPUs are created on first allocation so that experiments touching a
+    handful of DPUs do not pay for 2560 simulated devices.
+    """
+
+    def __init__(self, attributes: UpmemAttributes = UPMEM_ATTRIBUTES) -> None:
+        self.attributes = attributes
+        self.topology = SystemTopology(attributes)
+        self._dpus: dict[int, Dpu] = {}
+        self._allocated: set[int] = set()
+
+    @property
+    def n_dpus(self) -> int:
+        return self.attributes.n_dpus
+
+    @property
+    def n_free(self) -> int:
+        return self.n_dpus - len(self._allocated)
+
+    def _dpu(self, dpu_id: int) -> Dpu:
+        dpu = self._dpus.get(dpu_id)
+        if dpu is None:
+            dpu = Dpu(dpu_id, self.attributes)
+            self._dpus[dpu_id] = dpu
+        return dpu
+
+    def allocate(self, n_dpus: int, *, policy: str = "pack") -> DpuSet:
+        """``dpu_alloc``: reserve ``n_dpus`` DPUs as a set.
+
+        ``policy`` chooses the placement:
+
+        * ``"pack"`` — consecutive ids (fills DIMMs in order; minimizes
+          the number of ranks the host must touch per transfer),
+        * ``"spread"`` — round-robin across DIMMs (maximizes aggregate
+          host-link bandwidth for scatter/gather-heavy workloads).
+        """
+        if n_dpus <= 0:
+            raise AllocationError(f"must allocate a positive DPU count, got {n_dpus}")
+        if n_dpus > self.n_free:
+            raise AllocationError(
+                f"requested {n_dpus} DPUs but only {self.n_free} of "
+                f"{self.n_dpus} are free"
+            )
+        if policy == "pack":
+            free = (i for i in range(self.n_dpus) if i not in self._allocated)
+            ids = [next(free) for _ in range(n_dpus)]
+        elif policy == "spread":
+            ids = self._spread_ids(n_dpus)
+        else:
+            raise AllocationError(
+                f"unknown allocation policy {policy!r}; use 'pack' or 'spread'"
+            )
+        self._allocated.update(ids)
+        return DpuSet([self._dpu(i) for i in ids], self.attributes)
+
+    def _spread_ids(self, n_dpus: int) -> list[int]:
+        """Free DPU ids taken round-robin across DIMMs."""
+        per_dimm = self.attributes.dpus_per_dimm
+        n_dimms = max(1, self.attributes.n_dimms)
+        ids: list[int] = []
+        offset = 0
+        while len(ids) < n_dpus and offset < per_dimm:
+            for dimm in range(n_dimms):
+                candidate = dimm * per_dimm + offset
+                if candidate < self.n_dpus and candidate not in self._allocated:
+                    ids.append(candidate)
+                    if len(ids) == n_dpus:
+                        break
+            offset += 1
+        if len(ids) < n_dpus:  # fall back to any remaining free ids
+            for i in range(self.n_dpus):
+                if i not in self._allocated and i not in ids:
+                    ids.append(i)
+                    if len(ids) == n_dpus:
+                        break
+        return ids
+
+    def free(self, dpu_set: DpuSet) -> None:
+        """``dpu_free``: return a set's DPUs to the pool."""
+        for dpu in dpu_set:
+            self._allocated.discard(dpu.dpu_id)
+        dpu_set.dpus = []
+
+    def dpus_needed_for(self, total_items: int, items_per_dpu: int) -> int:
+        """How many DPUs a workload of ``total_items`` requires.
+
+        The paper's allocation rule for the eBNN multi-image scheme:
+        divide the image count by images-per-DPU, rounding up, capped by
+        the system size.
+        """
+        if items_per_dpu <= 0:
+            raise AllocationError(
+                f"items_per_dpu must be positive, got {items_per_dpu}"
+            )
+        needed = -(-total_items // items_per_dpu)
+        return min(needed, self.n_dpus)

@@ -1,0 +1,79 @@
+"""Physical organization of the UPMEM system (Fig. 2.1 / Table 2.1).
+
+The server is organized as ranks of DIMMs; each DIMM carries PIM chips and
+each chip carries 8 DPUs.  The paper's machine: 20 DIMMs x 128 DPUs = 2560
+DPUs.  The topology assigns every DPU a structured address
+``(dimm, chip, slot)`` derivable from its flat id, which the host runtime
+uses for allocation and the experiments use to reason about rank-level
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class DpuAddress:
+    """Structured location of one DPU in the system."""
+
+    dpu_id: int
+    dimm: int
+    chip: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"dpu{self.dpu_id}(dimm{self.dimm}.chip{self.chip}.slot{self.slot})"
+
+
+class SystemTopology:
+    """Maps flat DPU ids onto the DIMM/chip/slot hierarchy."""
+
+    def __init__(self, attributes: UpmemAttributes = UPMEM_ATTRIBUTES) -> None:
+        self.attributes = attributes
+
+    @property
+    def n_dpus(self) -> int:
+        return self.attributes.n_dpus
+
+    def address_of(self, dpu_id: int) -> DpuAddress:
+        """Structured address of a flat DPU id."""
+        if not 0 <= dpu_id < self.n_dpus:
+            raise AllocationError(
+                f"DPU id {dpu_id} outside [0, {self.n_dpus})"
+            )
+        per_dimm = self.attributes.dpus_per_dimm
+        per_chip = self.attributes.dpus_per_chip
+        dimm, within_dimm = divmod(dpu_id, per_dimm)
+        chip, slot = divmod(within_dimm, per_chip)
+        return DpuAddress(dpu_id=dpu_id, dimm=dimm, chip=chip, slot=slot)
+
+    def dpus_in_dimm(self, dimm: int) -> range:
+        """Flat ids of every DPU on one DIMM."""
+        if not 0 <= dimm < self.attributes.n_dimms:
+            raise AllocationError(
+                f"DIMM {dimm} outside [0, {self.attributes.n_dimms})"
+            )
+        start = dimm * self.attributes.dpus_per_dimm
+        return range(start, start + self.attributes.dpus_per_dimm)
+
+    def dpus_in_chip(self, dimm: int, chip: int) -> range:
+        """Flat ids of every DPU on one chip."""
+        if not 0 <= chip < self.attributes.chips_per_dimm:
+            raise AllocationError(
+                f"chip {chip} outside [0, {self.attributes.chips_per_dimm})"
+            )
+        base = dimm * self.attributes.dpus_per_dimm + chip * self.attributes.dpus_per_chip
+        return range(base, base + self.attributes.dpus_per_chip)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "dpus": self.n_dpus,
+            "dimms": self.attributes.n_dimms,
+            "chips": self.attributes.n_chips,
+            "dpus_per_dimm": self.attributes.dpus_per_dimm,
+            "dpus_per_chip": self.attributes.dpus_per_chip,
+        }

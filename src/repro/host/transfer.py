@@ -1,0 +1,210 @@
+"""Host<->DPU data transfer API (paper Section 3.2, Eqs. 3.1-3.3).
+
+Mirrors the three UPMEM SDK entry points the thesis builds its memory
+orchestration on:
+
+* :func:`copy_to` — ``dpu_copy_to``: broadcast the same buffer to a symbol
+  on every DPU of a set (Eq. 3.1).
+* :class:`XferBatch` — ``dpu_prepare_xfer`` + ``dpu_push_xfer``: stage a
+  *different* buffer per DPU, then push them all to (or gather them all
+  from) the same symbol in one batched operation (Eqs. 3.2-3.3).
+
+All transfers enforce the 8-byte size/offset rule of
+:mod:`repro.host.alignment`; callers move unaligned payloads by padding
+them and shipping the actual size separately, exactly as the paper
+describes.  The module keeps byte counters so experiments can report
+host-link traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dpu.device import Dpu
+from repro.host.alignment import pad_buffer, validate_transfer
+from repro.errors import TransferError
+
+
+class XferDirection(enum.Enum):
+    """Direction of a batched transfer (``dpu_xfer_t``)."""
+
+    TO_DPU = "to_dpu"
+    FROM_DPU = "from_dpu"
+
+
+@dataclass
+class TransferStats:
+    """Running totals of host-link traffic."""
+
+    bytes_to_dpus: int = 0
+    bytes_from_dpus: int = 0
+    broadcasts: int = 0
+    pushes: int = 0
+
+    def reset(self) -> None:
+        self.bytes_to_dpus = 0
+        self.bytes_from_dpus = 0
+        self.broadcasts = 0
+        self.pushes = 0
+
+
+#: Shared stats instance transfers account into by default.
+GLOBAL_TRANSFER_STATS = TransferStats()
+
+
+def copy_to(
+    dpus: list[Dpu],
+    symbol_name: str,
+    data: bytes | np.ndarray,
+    *,
+    symbol_offset: int = 0,
+    stats: TransferStats | None = None,
+) -> None:
+    """``dpu_copy_to``: broadcast one buffer to a symbol on every DPU."""
+    raw = _as_bytes(data)
+    validate_transfer(len(raw), symbol_offset)
+    for dpu in dpus:
+        dpu.write_symbol(symbol_name, raw, symbol_offset)
+    stats = stats or GLOBAL_TRANSFER_STATS
+    stats.bytes_to_dpus += len(raw) * len(dpus)
+    stats.broadcasts += 1
+
+
+def copy_from(
+    dpu: Dpu,
+    symbol_name: str,
+    n_bytes: int,
+    *,
+    symbol_offset: int = 0,
+    stats: TransferStats | None = None,
+) -> bytes:
+    """``dpu_copy_from``: read a symbol from one DPU."""
+    validate_transfer(n_bytes, symbol_offset)
+    raw = dpu.read_symbol(symbol_name, n_bytes, symbol_offset)
+    stats = stats or GLOBAL_TRANSFER_STATS
+    stats.bytes_from_dpus += n_bytes
+    return raw
+
+
+@dataclass
+class XferBatch:
+    """A prepared scatter/gather transfer across a set of DPUs.
+
+    Usage follows the SDK's FOREACH pattern::
+
+        batch = XferBatch()
+        for i, dpu in enumerate(dpus):
+            batch.prepare(dpu, rows[i])            # dpu_prepare_xfer
+        batch.push(XferDirection.TO_DPU, "input")  # dpu_push_xfer
+
+    On push, the ``length`` parameter bounds how much of each prepared
+    buffer moves — the mechanism the paper uses to send only the valid
+    prefix of a padded buffer.
+    """
+
+    _prepared: list[tuple[Dpu, bytearray | bytes]] = field(default_factory=list)
+
+    def prepare(self, dpu: Dpu, buffer: bytes | bytearray | np.ndarray) -> None:
+        """``dpu_prepare_xfer``: associate a buffer with one DPU."""
+        if isinstance(buffer, np.ndarray):
+            buffer = bytearray(np.ascontiguousarray(buffer).tobytes())
+        elif isinstance(buffer, bytes):
+            buffer = bytearray(buffer)
+        self._prepared.append((dpu, buffer))
+
+    def push(
+        self,
+        direction: XferDirection,
+        symbol_name: str,
+        *,
+        symbol_offset: int = 0,
+        length: int | None = None,
+        stats: TransferStats | None = None,
+    ) -> list[bytes] | None:
+        """``dpu_push_xfer``: execute all prepared transfers.
+
+        For TO_DPU, each prepared buffer's first ``length`` bytes are
+        written to the symbol.  For FROM_DPU, ``length`` bytes are read
+        from each DPU into (and also returned as) the prepared buffers.
+        """
+        if not self._prepared:
+            raise TransferError("push_xfer with no prepared transfers")
+        if length is None:
+            lengths = {len(buf) for _, buf in self._prepared}
+            if len(lengths) != 1:
+                raise TransferError(
+                    "prepared buffers have differing sizes; pass an explicit length"
+                )
+            length = lengths.pop()
+        validate_transfer(length, symbol_offset)
+        stats = stats or GLOBAL_TRANSFER_STATS
+        results: list[bytes] = []
+        for dpu, buffer in self._prepared:
+            if len(buffer) < length:
+                raise TransferError(
+                    f"prepared buffer of {len(buffer)} bytes shorter than "
+                    f"push length {length}"
+                )
+            if direction is XferDirection.TO_DPU:
+                dpu.write_symbol(symbol_name, bytes(buffer[:length]), symbol_offset)
+                stats.bytes_to_dpus += length
+            else:
+                data = dpu.read_symbol(symbol_name, length, symbol_offset)
+                if isinstance(buffer, bytearray):
+                    buffer[:length] = data
+                results.append(data)
+                stats.bytes_from_dpus += length
+        stats.pushes += 1
+        self._prepared.clear()
+        return results if direction is XferDirection.FROM_DPU else None
+
+
+def scatter_rows(
+    dpus: list[Dpu],
+    symbol_name: str,
+    rows: list[np.ndarray] | list[bytes],
+    *,
+    stats: TransferStats | None = None,
+) -> int:
+    """Send a different (padded) row to each DPU; returns the pushed length.
+
+    Convenience wrapper over :class:`XferBatch` implementing the paper's
+    per-DPU row distribution (Fig. 4.6): all rows are padded to a common
+    8-byte-aligned length and pushed to the same symbol.
+    """
+    if len(rows) != len(dpus):
+        raise TransferError(
+            f"{len(rows)} rows for {len(dpus)} DPUs; counts must match"
+        )
+    padded = [pad_buffer(_as_bytes(row)) for row in rows]
+    length = max(buf.padded_size for buf in padded)
+    batch = XferBatch()
+    for dpu, buf in zip(dpus, padded):
+        batch.prepare(dpu, buf.data + bytes(length - buf.padded_size))
+    batch.push(XferDirection.TO_DPU, symbol_name, length=length, stats=stats)
+    return length
+
+
+def gather_rows(
+    dpus: list[Dpu],
+    symbol_name: str,
+    length: int,
+    *,
+    stats: TransferStats | None = None,
+) -> list[bytes]:
+    """Read the same symbol back from every DPU (one row each)."""
+    batch = XferBatch()
+    for dpu in dpus:
+        batch.prepare(dpu, bytearray(length))
+    return batch.push(
+        XferDirection.FROM_DPU, symbol_name, length=length, stats=stats
+    )
+
+
+def _as_bytes(data: bytes | bytearray | memoryview | np.ndarray) -> bytes:
+    if isinstance(data, np.ndarray):
+        return np.ascontiguousarray(data).tobytes()
+    return bytes(data)

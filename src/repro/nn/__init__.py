@@ -1,0 +1,28 @@
+"""Neural-network substrate: quantization, GEMM, layers, binary ops, models."""
+
+from repro.nn.gemm import GemmShape, gemm_fast, gemm_reference, gemm_row
+from repro.nn.im2col import ConvGeometry, col2im_output, im2col
+from repro.nn.quantize import (
+    QuantParams,
+    qdtype,
+    qrange,
+    quantization_error,
+    quantize_tensor,
+    requantize_shift,
+)
+
+__all__ = [
+    "GemmShape",
+    "gemm_fast",
+    "gemm_reference",
+    "gemm_row",
+    "ConvGeometry",
+    "col2im_output",
+    "im2col",
+    "QuantParams",
+    "qdtype",
+    "qrange",
+    "quantization_error",
+    "quantize_tensor",
+    "requantize_shift",
+]

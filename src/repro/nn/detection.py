@@ -1,0 +1,113 @@
+"""Detection post-processing: IoU and non-maximum suppression.
+
+YOLOv3's raw head output is a dense grid of candidate boxes; the boxes the
+paper's Fig. 4.5 shows are what survives confidence thresholding and
+non-maximum suppression.  This is host-side work in the paper's split
+(nothing here touches the DPUs), used by the detection example and the
+functional YOLOv3 tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Box:
+    """A detection box: center (x, y), size (w, h), score, class."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+    confidence: float
+    class_id: int
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise WorkloadError(f"negative box size: {self.w} x {self.h}")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise WorkloadError(f"confidence {self.confidence} outside [0, 1]")
+
+    @property
+    def left(self) -> float:
+        return self.x - self.w / 2
+
+    @property
+    def right(self) -> float:
+        return self.x + self.w / 2
+
+    @property
+    def top(self) -> float:
+        return self.y - self.h / 2
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.h / 2
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    @staticmethod
+    def from_dict(raw: dict) -> "Box":
+        """Adapter from the decoder's dict rows."""
+        return Box(
+            x=raw["x"], y=raw["y"], w=raw["w"], h=raw["h"],
+            confidence=raw["confidence"], class_id=raw["class_id"],
+        )
+
+
+def iou(a: Box, b: Box) -> float:
+    """Intersection-over-union of two boxes."""
+    inter_w = min(a.right, b.right) - max(a.left, b.left)
+    inter_h = min(a.bottom, b.bottom) - max(a.top, b.top)
+    if inter_w <= 0 or inter_h <= 0:
+        return 0.0
+    intersection = inter_w * inter_h
+    union = a.area + b.area - intersection
+    if union <= 0:
+        return 0.0
+    return intersection / union
+
+
+def non_max_suppression(
+    boxes: list[Box],
+    *,
+    iou_threshold: float = 0.45,
+    class_aware: bool = True,
+) -> list[Box]:
+    """Greedy NMS: keep the highest-confidence box, drop its overlaps.
+
+    ``class_aware`` restricts suppression to boxes of the same class
+    (Darknet's behaviour).  Returns survivors sorted by confidence.
+    """
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise WorkloadError(f"IoU threshold {iou_threshold} outside [0, 1]")
+    remaining = sorted(boxes, key=lambda box: -box.confidence)
+    kept: list[Box] = []
+    while remaining:
+        best = remaining.pop(0)
+        kept.append(best)
+        remaining = [
+            box for box in remaining
+            if (class_aware and box.class_id != best.class_id)
+            or iou(best, box) <= iou_threshold
+        ]
+    return kept
+
+
+def postprocess(
+    raw_boxes: list[dict],
+    *,
+    conf_threshold: float = 0.5,
+    iou_threshold: float = 0.45,
+) -> list[Box]:
+    """Threshold + NMS over the decoder's raw candidates."""
+    candidates = [
+        Box.from_dict(raw) for raw in raw_boxes
+        if raw["confidence"] >= conf_threshold
+    ]
+    return non_max_suppression(candidates, iou_threshold=iou_threshold)

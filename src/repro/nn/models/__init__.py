@@ -1,0 +1,23 @@
+"""Network models: eBNN, YOLOv3, AlexNet and ResNet-18 (workloads)."""
+
+from repro.nn.models import resnet
+from repro.nn.models.alexnet import ALEXNET_LAYERS, PAPER_TOTAL_OPS, total_macs, total_ops
+from repro.nn.models.darknet import (
+    LayerSpec,
+    Yolov3Model,
+    build_yolov3_layers,
+)
+from repro.nn.models.ebnn import EbnnConfig, EbnnModel
+
+__all__ = [
+    "resnet",
+    "ALEXNET_LAYERS",
+    "PAPER_TOTAL_OPS",
+    "total_macs",
+    "total_ops",
+    "LayerSpec",
+    "Yolov3Model",
+    "build_yolov3_layers",
+    "EbnnConfig",
+    "EbnnModel",
+]

@@ -1,0 +1,93 @@
+"""AlexNet workload definition (used by the Chapter 5 model, Table 5.1).
+
+The analytical PIM model is exercised with AlexNet's operation count.  The
+thesis plugs in ``TOPs = 2.59e9`` — the number of multiply *and* accumulate
+instructions of an AlexNet inference (each MAC counted as two operations,
+batch-normalized AlexNet variant).  We ship both: the layer table with its
+computed MAC counts, and the exact constant the thesis uses so Table 5.1
+reproduces verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+#: The operation count the thesis's Table 5.1 / 5.3 uses for AlexNet.
+PAPER_TOTAL_OPS = 2.59e9
+
+
+@dataclass(frozen=True)
+class AlexNetLayer:
+    """One AlexNet layer with enough geometry to count MACs."""
+
+    name: str
+    kind: str               # conv | fc
+    out_channels: int
+    in_channels: int
+    kernel: int = 1         # conv only
+    out_size: int = 1       # conv output side
+
+    @property
+    def macs(self) -> int:
+        if self.kind == "conv":
+            return (
+                self.out_channels
+                * self.in_channels
+                * self.kernel
+                * self.kernel
+                * self.out_size
+                * self.out_size
+            )
+        if self.kind == "fc":
+            return self.out_channels * self.in_channels
+        raise WorkloadError(f"unknown layer kind {self.kind!r}")
+
+
+#: Classic AlexNet (227x227 input, grouped convolutions ignored for op
+#: counting, as the thesis's coarse TOPs figure does).
+ALEXNET_LAYERS: tuple[AlexNetLayer, ...] = (
+    AlexNetLayer("conv1", "conv", 96, 3, kernel=11, out_size=55),
+    AlexNetLayer("conv2", "conv", 256, 96, kernel=5, out_size=27),
+    AlexNetLayer("conv3", "conv", 384, 256, kernel=3, out_size=13),
+    AlexNetLayer("conv4", "conv", 384, 384, kernel=3, out_size=13),
+    AlexNetLayer("conv5", "conv", 256, 384, kernel=3, out_size=13),
+    AlexNetLayer("fc6", "fc", 4096, 256 * 6 * 6),
+    AlexNetLayer("fc7", "fc", 4096, 4096),
+    AlexNetLayer("fc8", "fc", 1000, 4096),
+)
+
+
+def gemm_shapes() -> list["GemmShape"]:
+    """Every AlexNet layer as the GEMM the Fig. 4.6 mapping would run.
+
+    Convolutions lower exactly like YOLOv3's (M = filters, K = filter
+    volume, N = output pixels); fully-connected layers are M x K
+    matrix-vector products (N = 1).
+    """
+    from repro.nn.gemm import GemmShape
+
+    shapes = []
+    for layer in ALEXNET_LAYERS:
+        if layer.kind == "conv":
+            shapes.append(GemmShape(
+                m=layer.out_channels,
+                k=layer.in_channels * layer.kernel * layer.kernel,
+                n=layer.out_size * layer.out_size,
+            ))
+        else:
+            shapes.append(GemmShape(m=layer.out_channels, k=layer.in_channels, n=1))
+    return shapes
+
+
+def total_macs() -> int:
+    """Computed MAC count of one AlexNet inference (~1.1 G)."""
+    return sum(layer.macs for layer in ALEXNET_LAYERS)
+
+
+def total_ops(count_mac_as: int = 2) -> int:
+    """Computed operation count (MACs x 2 for multiply + accumulate)."""
+    if count_mac_as < 1:
+        raise WorkloadError(f"count_mac_as must be >= 1, got {count_mac_as}")
+    return total_macs() * count_mac_as

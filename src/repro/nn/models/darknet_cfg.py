@@ -1,0 +1,129 @@
+"""Darknet ``.cfg`` serialization of the YOLOv3 layer table.
+
+Darknet defines networks in INI-style ``.cfg`` files; the published
+YOLOv3 ships as ``yolov3.cfg``.  This module writes the reproduction's
+layer list in that dialect and parses the dialect back, so the layer
+table can be diffed against the upstream file and users can load their
+own Darknet-style variants.
+
+Supported sections: ``[net]`` (height/width/channels), ``[convolutional]``
+(filters/size/stride/pad/batch_normalize/activation), ``[shortcut]``,
+``[route]``, ``[upsample]``, ``[yolo]`` (mask) — everything the latency
+study needs; training-only keys are ignored on parse.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.nn.models.darknet import LayerSpec
+
+
+def emit_cfg(
+    layers: list[LayerSpec],
+    *,
+    input_size: int = 416,
+    channels: int = 3,
+) -> str:
+    """Render a layer list as Darknet ``.cfg`` text."""
+    blocks = [
+        "[net]",
+        f"height={input_size}",
+        f"width={input_size}",
+        f"channels={channels}",
+        "",
+    ]
+    for spec in layers:
+        if spec.kind == "conv":
+            blocks.append("[convolutional]")
+            if spec.batch_normalize:
+                blocks.append("batch_normalize=1")
+            blocks.append(f"filters={spec.filters}")
+            blocks.append(f"size={spec.size}")
+            blocks.append(f"stride={spec.stride}")
+            blocks.append(f"pad={1 if spec.pad else 0}")
+            blocks.append(f"activation={spec.activation}")
+        elif spec.kind == "shortcut":
+            blocks.append("[shortcut]")
+            blocks.append(f"from={spec.offsets[0]}")
+            blocks.append("activation=linear")
+        elif spec.kind == "route":
+            blocks.append("[route]")
+            blocks.append(
+                "layers=" + ",".join(str(off) for off in spec.offsets)
+            )
+        elif spec.kind == "upsample":
+            blocks.append("[upsample]")
+            blocks.append("stride=2")
+        elif spec.kind == "yolo":
+            blocks.append("[yolo]")
+            blocks.append("mask=" + ",".join(str(m) for m in spec.mask))
+        else:
+            raise WorkloadError(f"cannot emit layer kind {spec.kind!r}")
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def parse_cfg(text: str) -> tuple[list[LayerSpec], int, int]:
+    """Parse ``.cfg`` text; returns (layers, input_size, channels)."""
+    sections = _split_sections(text)
+    if not sections or sections[0][0] != "net":
+        raise WorkloadError(".cfg must start with a [net] section")
+    net = sections[0][1]
+    input_size = int(net.get("height", 416))
+    if int(net.get("width", input_size)) != input_size:
+        raise WorkloadError("only square inputs are supported")
+    channels = int(net.get("channels", 3))
+
+    layers: list[LayerSpec] = []
+    for name, options in sections[1:]:
+        if name == "convolutional":
+            layers.append(LayerSpec(
+                "conv",
+                filters=int(options["filters"]),
+                size=int(options["size"]),
+                stride=int(options.get("stride", 1)),
+                batch_normalize=options.get("batch_normalize", "0") == "1",
+                activation=options.get("activation", "linear"),
+            ))
+        elif name == "shortcut":
+            layers.append(LayerSpec(
+                "shortcut", offsets=(int(options["from"]),)
+            ))
+        elif name == "route":
+            offsets = tuple(
+                int(tok) for tok in options["layers"].split(",") if tok.strip()
+            )
+            layers.append(LayerSpec("route", offsets=offsets))
+        elif name == "upsample":
+            layers.append(LayerSpec("upsample"))
+        elif name == "yolo":
+            mask = tuple(
+                int(tok) for tok in options.get("mask", "").split(",")
+                if tok.strip()
+            )
+            layers.append(LayerSpec("yolo", mask=mask))
+        else:
+            raise WorkloadError(f"unsupported .cfg section [{name}]")
+    return layers, input_size, channels
+
+
+def _split_sections(text: str) -> list[tuple[str, dict[str, str]]]:
+    sections: list[tuple[str, dict[str, str]]] = []
+    current: dict[str, str] | None = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = {}
+            sections.append((line[1:-1].strip().lower(), current))
+        elif "=" in line:
+            if current is None:
+                raise WorkloadError(
+                    f".cfg line {line_no}: option outside any section"
+                )
+            key, _, value = line.partition("=")
+            current[key.strip()] = value.strip()
+        else:
+            raise WorkloadError(f".cfg line {line_no}: cannot parse {raw!r}")
+    return sections

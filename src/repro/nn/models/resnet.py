@@ -1,0 +1,91 @@
+"""ResNet-18 workload definition (the Section 6.1 study's far endpoint).
+
+The thesis's future work asks how CNNs "from AlexNet to ResNet" behave on
+the UPMEM mapping.  This module provides ResNet-18's convolutional layer
+table with exact GEMM geometry, so the Fig. 4.6 mapping and the Chapter 5
+model can be evaluated on it alongside AlexNet, eBNN and YOLOv3.
+
+Standard 224x224 ImageNet configuration: a 7x7/64 stem, four stages of
+two basic blocks each (64, 128, 256, 512 channels; first block of stages
+2-4 downsamples with a strided 3x3 plus a 1x1 projection shortcut), then
+the 1000-way fully-connected head.  ~1.8 GFLOPs / 0.9 G MACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.nn.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class ResNetConv:
+    """One convolution of ResNet-18 with resolved geometry."""
+
+    name: str
+    out_channels: int
+    in_channels: int
+    kernel: int
+    out_size: int
+
+    @property
+    def gemm(self) -> GemmShape:
+        return GemmShape(
+            m=self.out_channels,
+            k=self.in_channels * self.kernel * self.kernel,
+            n=self.out_size * self.out_size,
+        )
+
+    @property
+    def macs(self) -> int:
+        return self.gemm.macs
+
+
+def _stage(
+    name: str, channels: int, in_channels: int, out_size: int,
+    downsample: bool,
+) -> list[ResNetConv]:
+    """Two basic blocks; the first may downsample with a projection."""
+    layers = []
+    first_in = in_channels
+    for block in (1, 2):
+        layers.append(ResNetConv(
+            f"{name}.{block}.conv1", channels,
+            first_in if block == 1 else channels, 3, out_size,
+        ))
+        layers.append(ResNetConv(
+            f"{name}.{block}.conv2", channels, channels, 3, out_size,
+        ))
+    if downsample:
+        layers.append(ResNetConv(
+            f"{name}.downsample", channels, in_channels, 1, out_size,
+        ))
+    return layers
+
+
+def resnet18_layers(input_size: int = 224) -> list[ResNetConv]:
+    """The full ResNet-18 convolutional layer table."""
+    if input_size % 32 != 0:
+        raise WorkloadError(
+            f"input size {input_size} must be a multiple of 32"
+        )
+    s = input_size
+    layers = [ResNetConv("stem", 64, 3, 7, s // 4)]
+    layers += _stage("layer1", 64, 64, s // 4, downsample=False)
+    layers += _stage("layer2", 128, 64, s // 8, downsample=True)
+    layers += _stage("layer3", 256, 128, s // 16, downsample=True)
+    layers += _stage("layer4", 512, 256, s // 32, downsample=True)
+    return layers
+
+
+def gemm_shapes(input_size: int = 224) -> list[GemmShape]:
+    """Every ResNet-18 conv as the GEMM the Fig. 4.6 mapping runs."""
+    shapes = [layer.gemm for layer in resnet18_layers(input_size)]
+    shapes.append(GemmShape(m=1000, k=512, n=1))  # the FC head
+    return shapes
+
+
+def total_macs(input_size: int = 224) -> int:
+    """MAC count of one inference (~0.91 G at 224, conv + fc)."""
+    return sum(shape.macs for shape in gemm_shapes(input_size))

@@ -1,0 +1,111 @@
+"""Training for the eBNN classifier head.
+
+The thesis runs inference only, with pre-trained eBNN weights it does not
+ship.  To make the reproduction's examples classify for real, this module
+trains the binary fully-connected layer the way eBNN training works
+(BinaryNet-style): keep real-valued master weights, take gradients through
+softmax cross-entropy on the *binary* conv features, and deploy the
+element-wise sign of the masters as the {-1,+1} weights the DPU pipeline
+uses.  The binary conv block stays fixed (random binary features are a
+serviceable feature extractor for glyph digits).
+
+Pure numpy; deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.nn.layers import softmax
+from repro.nn.models.ebnn import EbnnModel
+
+
+@dataclass
+class TrainingReport:
+    """What a training run produced."""
+
+    epochs: int
+    final_train_accuracy: float
+    loss_history: list[float] = field(default_factory=list)
+    accuracy_history: list[float] = field(default_factory=list)
+
+
+class EbnnTrainer:
+    """Softmax-regression training of the eBNN FC layer."""
+
+    def __init__(
+        self,
+        model: EbnnModel,
+        *,
+        learning_rate: float = 0.2,
+        epochs: int = 100,
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise WorkloadError(f"learning rate must be positive: {learning_rate}")
+        if epochs < 1:
+            raise WorkloadError(f"need at least one epoch, got {epochs}")
+        self.model = model
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.seed = seed
+
+    def extract_features(self, images: np.ndarray) -> np.ndarray:
+        """Binary conv features as {-1,+1} rows, one per image."""
+        rows = []
+        for image in images:
+            bits = self.model.features(image).reshape(-1)
+            rows.append(np.where(bits > 0, 1.0, -1.0))
+        return np.asarray(rows, dtype=np.float64)
+
+    def train(self, images: np.ndarray, labels: np.ndarray) -> TrainingReport:
+        """Fit the FC layer; deploys sign(masters) into the model."""
+        if images.shape[0] != labels.shape[0]:
+            raise WorkloadError(
+                f"{images.shape[0]} images vs {labels.shape[0]} labels"
+            )
+        if images.shape[0] < 1:
+            raise WorkloadError("empty training set")
+        classes = self.model.config.classes
+        if labels.min() < 0 or labels.max() >= classes:
+            raise WorkloadError(f"labels outside [0, {classes})")
+
+        features = self.extract_features(images)
+        n, d = features.shape
+        one_hot = np.zeros((n, classes))
+        one_hot[np.arange(n), labels] = 1.0
+
+        rng = np.random.default_rng(self.seed)
+        masters = rng.normal(0.0, 0.1, size=(classes, d))
+        report = TrainingReport(epochs=self.epochs, final_train_accuracy=0.0)
+
+        for _ in range(self.epochs):
+            # forward on the binarized weights (straight-through estimator)
+            binary_w = np.sign(masters) + (masters == 0)
+            logits = features @ binary_w.T
+            probs = softmax(logits).astype(np.float64)
+            loss = -float(
+                np.mean(np.log(np.clip(probs[np.arange(n), labels], 1e-12, 1)))
+            )
+            gradient = (probs - one_hot).T @ features / n
+            masters -= self.learning_rate * gradient
+            masters = np.clip(masters, -1.0, 1.0)  # BinaryNet weight clipping
+
+            predictions = np.argmax(logits, axis=1)
+            accuracy = float(np.mean(predictions == labels))
+            report.loss_history.append(loss)
+            report.accuracy_history.append(accuracy)
+
+        # Deploy the binarized weights into the model.
+        deployed = np.sign(masters) + (masters == 0)
+        self.model.fc_weights = deployed.astype(np.int8)
+        report.final_train_accuracy = report.accuracy_history[-1]
+        return report
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy of the deployed model on a labeled set."""
+        predictions = self.model.predict_batch(images)
+        return float(np.mean(predictions == np.asarray(labels)))

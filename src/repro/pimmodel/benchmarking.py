@@ -1,0 +1,137 @@
+"""Cross-PIM CNN benchmarking: Table 5.4 and Fig. 5.7 (Section 5.4).
+
+For every comparison architecture, computes the eBNN and YOLOv3 inference
+latency and the two throughput normalizations the thesis reports:
+
+* frames per second per watt  (``1 / (latency * power)``), and
+* frames per second per mm^2  (``1 / (latency * area)``).
+
+Analytical architectures get model latencies (``TOPs / effective rate``);
+UPMEM gets the *measured* latencies of the Chapter 4 in-device runs —
+either the thesis's published measurements or, optionally, this
+reproduction's own simulated Chapter 4 numbers, so the two halves of the
+project meet in one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.pimmodel.architectures import (
+    TABLE_5_4_ARCHITECTURES,
+    PimArchitecture,
+)
+from repro.pimmodel.workloads import EBNN, YOLOV3, Workload
+
+
+@dataclass(frozen=True)
+class BenchmarkRow:
+    """One architecture's Table 5.4 column."""
+
+    architecture: str
+    power_chip_w: float
+    area_chip_mm2: float
+    ebnn_latency_s: float
+    ebnn_throughput_per_watt: float
+    ebnn_throughput_per_mm2: float
+    yolo_latency_s: float
+    yolo_throughput_per_watt: float
+    yolo_throughput_per_mm2: float
+
+
+def analytical_latency(arch: PimArchitecture, workload: Workload) -> float:
+    """Model latency: operations over the architecture's effective rate."""
+    rate = arch.effective_ops_per_second()
+    if rate <= 0:
+        raise ModelError(f"{arch.name} has a non-positive op rate")
+    return workload.total_ops / rate
+
+
+def latency_for(
+    arch: PimArchitecture,
+    workload: Workload,
+    *,
+    measured_overrides: dict[str, dict[str, float]] | None = None,
+) -> float:
+    """The latency Table 5.4 uses for one (architecture, workload) cell.
+
+    Physical measurements (UPMEM's Chapter 4 runs) take precedence over
+    the analytical model; ``measured_overrides`` lets callers substitute
+    this reproduction's own simulated Chapter 4 latencies.
+    """
+    overrides = measured_overrides or {}
+    if arch.name in overrides and workload.name in overrides[arch.name]:
+        return overrides[arch.name][workload.name]
+    if arch.measured_latency_s and workload.name in arch.measured_latency_s:
+        return arch.measured_latency_s[workload.name]
+    return analytical_latency(arch, workload)
+
+
+def benchmark_row(
+    arch: PimArchitecture,
+    *,
+    measured_overrides: dict[str, dict[str, float]] | None = None,
+) -> BenchmarkRow:
+    """Compute one Table 5.4 column."""
+    ebnn_latency = latency_for(arch, EBNN, measured_overrides=measured_overrides)
+    yolo_latency = latency_for(arch, YOLOV3, measured_overrides=measured_overrides)
+    return BenchmarkRow(
+        architecture=arch.name,
+        power_chip_w=arch.power_chip_w,
+        area_chip_mm2=arch.area_chip_mm2,
+        ebnn_latency_s=ebnn_latency,
+        ebnn_throughput_per_watt=1.0
+        / (ebnn_latency * arch.normalization_power_w("ebnn")),
+        ebnn_throughput_per_mm2=1.0
+        / (ebnn_latency * arch.normalization_area_mm2("ebnn")),
+        yolo_latency_s=yolo_latency,
+        yolo_throughput_per_watt=1.0
+        / (yolo_latency * arch.normalization_power_w("yolov3")),
+        yolo_throughput_per_mm2=1.0
+        / (yolo_latency * arch.normalization_area_mm2("yolov3")),
+    )
+
+
+def table_5_4(
+    *,
+    measured_overrides: dict[str, dict[str, float]] | None = None,
+) -> list[BenchmarkRow]:
+    """Reproduce Table 5.4 across all seven architectures."""
+    return [
+        benchmark_row(arch, measured_overrides=measured_overrides)
+        for arch in TABLE_5_4_ARCHITECTURES
+    ]
+
+
+#: Table 5.4 as published, for paper-vs-model comparison in the benches.
+PAPER_TABLE_5_4 = {
+    "UPMEM": {
+        "ebnn_latency_s": 1.48e-3, "ebnn_tpw": 5.63e3, "ebnn_tpa": 1.80e2,
+        "yolo_latency_s": 65.0, "yolo_tpw": 1.25e-4, "yolo_tpa": 1.10e-5,
+    },
+    "pPIM": {
+        "ebnn_latency_s": 3.80e-7, "ebnn_tpw": 7.52e5, "ebnn_tpa": 1.02e5,
+        "yolo_latency_s": 0.68, "yolo_tpw": 4.20e-1, "yolo_tpa": 5.71e-2,
+    },
+    "DRISA-3T1C": {
+        "ebnn_latency_s": 8.21e-7, "ebnn_tpw": 1.24e4, "ebnn_tpa": 1.87e4,
+        "yolo_latency_s": 1.47, "yolo_tpw": 6.94e-3, "yolo_tpa": 1.04e-2,
+    },
+    "DRISA-1T1C-NOR": {
+        "ebnn_latency_s": 1.96e-6, "ebnn_tpw": 5.21e3, "ebnn_tpa": 7.83e3,
+        "yolo_latency_s": 3.51, "yolo_tpw": 2.91e-3, "yolo_tpa": 4.37e-3,
+    },
+    "SCOPE-Vanilla": {
+        "ebnn_latency_s": 1.30e-8, "ebnn_tpw": 4.36e5, "ebnn_tpa": 2.82e5,
+        "yolo_latency_s": 0.0233, "yolo_tpw": 2.43e-1, "yolo_tpa": 1.57e-1,
+    },
+    "SCOPE-H2d": {
+        "ebnn_latency_s": 4.64e-8, "ebnn_tpw": 1.22e5, "ebnn_tpa": 7.89e4,
+        "yolo_latency_s": 0.0831, "yolo_tpw": 6.82e-2, "yolo_tpa": 4.41e-2,
+    },
+    "LACC": {
+        "ebnn_latency_s": 2.14e-7, "ebnn_tpw": 8.82e5, "ebnn_tpa": 8.53e4,
+        "yolo_latency_s": 0.384, "yolo_tpw": 4.91e-1, "yolo_tpa": 4.75e-2,
+    },
+}

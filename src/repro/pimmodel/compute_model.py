@@ -1,0 +1,171 @@
+"""The computation model in use: Table 5.1, Table 5.2, Figs. 5.5 and 5.6.
+
+Builds on :mod:`repro.pimmodel.equations` (the pure Eq. 5.2-5.6 functions),
+:mod:`repro.pimmodel.scaling` (per-architecture C_op laws) and the
+architecture registry to regenerate the thesis's computation-model
+artifacts:
+
+* :func:`table_5_1` — the example MAC-latency walkthrough for pPIM, DRISA
+  and UPMEM on 8-bit AlexNet,
+* :func:`sweep_total_ops` / :func:`sweep_pes` — the Fig. 5.5 parameter
+  sweeps (step function in TOPs, reciprocal drop in PEs),
+* :func:`fig_5_6_comparison` — the three PIMs against each other across
+  operand sizes at fixed PEs and TOPs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.pimmodel import equations, scaling
+from repro.pimmodel.architectures import MODELED
+from repro.pimmodel.scaling import mac_cost, mult_cycles
+from repro.pimmodel.workloads import ALEXNET
+
+#: Row 14 of Table 5.1: AlexNet latency derived from literature MAC
+#: latencies (the thesis's external cross-check of the model).
+LITERATURE_ALEXNET_LATENCY_S = {
+    "pPIM": 6.48e-2,
+    "DRISA": 1.40e-1,
+    "UPMEM": 8.79e-1,
+}
+
+#: Fig. 5.5 panel parameters: PEs held constant in the TOPs sweeps (a-c),
+#: TOPs held constant in the PE sweeps (d-f).
+FIG_5_5_FIXED_PES = {"DRISA": 32768, "pPIM": 256, "UPMEM": 2560}
+FIG_5_5_FIXED_TOPS = {"DRISA": 10_000, "pPIM": 100_000, "UPMEM": 100_000}
+
+
+@dataclass(frozen=True)
+class Table51Column:
+    """One architecture's column of Table 5.1."""
+
+    architecture: str
+    pipeline_stages: int
+    building_block_cycles: int
+    operand_bits: int
+    accumulate_scale: int
+    multiply_scale: int
+    op_cycles: int
+    n_pes: int
+    frequency_hz: float
+    total_ops: float
+    compute_cycles_one_mac: float
+    compute_seconds_one_mac: float
+    compute_cycles_workload: float
+    compute_seconds_workload: float
+    literature_latency_s: float
+
+
+def table_5_1(operand_bits: int = 8) -> dict[str, Table51Column]:
+    """Reproduce Table 5.1: the model walked through for three PIMs."""
+    columns: dict[str, Table51Column] = {}
+    for name, arch in MODELED.items():
+        cost = mac_cost(name, operand_bits)
+        op_cycles = cost.op_cycles
+        one_mac_cycles = equations.compute_cycles(op_cycles, 1, arch.n_pes)
+        workload_cycles = equations.compute_cycles(
+            op_cycles, int(ALEXNET.total_ops), arch.n_pes
+        )
+        columns[name] = Table51Column(
+            architecture=name,
+            pipeline_stages=cost.pipeline_stages,
+            building_block_cycles=cost.building_block_cycles,
+            operand_bits=operand_bits,
+            accumulate_scale=cost.accumulate_scale,
+            multiply_scale=cost.multiply_scale,
+            op_cycles=op_cycles,
+            n_pes=arch.n_pes,
+            frequency_hz=arch.frequency_hz,
+            total_ops=ALEXNET.total_ops,
+            compute_cycles_one_mac=one_mac_cycles,
+            compute_seconds_one_mac=equations.compute_seconds(
+                one_mac_cycles, arch.frequency_hz
+            ),
+            compute_cycles_workload=workload_cycles,
+            compute_seconds_workload=equations.compute_seconds(
+                workload_cycles, arch.frequency_hz
+            ),
+            literature_latency_s=LITERATURE_ALEXNET_LATENCY_S[name],
+        )
+    return columns
+
+
+def multiplication_cycles_table() -> dict[str, dict[int, int]]:
+    """Reproduce Table 5.2 from the per-architecture scale laws."""
+    return {
+        name: {bits: mult_cycles(name, bits) for bits in scaling.TABLE_5_2_WIDTHS}
+        for name in ("pPIM", "DRISA", "UPMEM")
+    }
+
+
+def cycles_for(
+    architecture: str, operand_bits: int, total_ops: int, n_pes: int
+) -> float:
+    """Eq. 5.3 for a multiplication workload: the Fig. 5.5/5.6 quantity."""
+    return equations.compute_cycles(
+        mult_cycles(architecture, operand_bits), total_ops, n_pes
+    )
+
+
+def sweep_total_ops(
+    architecture: str,
+    operand_bits: int,
+    n_pes: int,
+    total_ops_values: list[int],
+) -> list[tuple[int, float]]:
+    """Fig. 5.5(a)-(c): cycles as TOPs grows at constant PEs (a staircase)."""
+    if not total_ops_values:
+        raise ModelError("empty TOPs sweep")
+    return [
+        (tops, cycles_for(architecture, operand_bits, tops, n_pes))
+        for tops in total_ops_values
+    ]
+
+
+def sweep_pes(
+    architecture: str,
+    operand_bits: int,
+    total_ops: int,
+    pes_values: list[int],
+) -> list[tuple[int, float]]:
+    """Fig. 5.5(d)-(f): cycles as PEs grows at constant TOPs.
+
+    The steep initial drop then the long logarithmic-looking tail the
+    thesis describes both fall out of ``ceil(TOPs / PEs)``.
+    """
+    if not pes_values:
+        raise ModelError("empty PE sweep")
+    return [
+        (pes, cycles_for(architecture, operand_bits, total_ops, pes))
+        for pes in pes_values
+    ]
+
+
+def fig_5_6_comparison(
+    *,
+    n_pes: int = 2560,
+    total_ops: int = 100_000,
+    widths: tuple[int, ...] = scaling.TABLE_5_2_WIDTHS,
+) -> dict[str, dict[int, float]]:
+    """Fig. 5.6: the three PIMs on one multiplication workload.
+
+    At the paper's operating point (PEs = 2560, TOPs = 100000), pPIM wins
+    at 8 and 16 bits while UPMEM wins at 32 — the crossover the thesis
+    highlights.
+    """
+    return {
+        name: {
+            bits: cycles_for(name, bits, total_ops, n_pes) for bits in widths
+        }
+        for name in ("DRISA", "pPIM", "UPMEM")
+    }
+
+
+def serial_waves(total_ops: int, n_pes: int) -> int:
+    """``ceil(TOPs / PEs)``: the parallelization factor of Eq. 5.3."""
+    if total_ops <= 0 or n_pes <= 0:
+        raise ModelError(f"bad wave parameters: {total_ops}, {n_pes}")
+    return math.ceil(total_ops / n_pes)

@@ -1,0 +1,73 @@
+"""Energy analysis over the Table 5.4 benchmarking results.
+
+Fig. 5.7's "energy throughput" (frames/s·W) inverts to energy per frame;
+this module makes the energy view explicit — joules per inference and
+energy-delay product (EDP) per architecture and workload — the metrics an
+accelerator-selection study reads off the thesis's data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.pimmodel.architectures import (
+    TABLE_5_4_ARCHITECTURES,
+    PimArchitecture,
+)
+from repro.pimmodel.benchmarking import latency_for
+from repro.pimmodel.workloads import EBNN, YOLOV3, Workload
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """Energy metrics of one (architecture, workload) pair."""
+
+    architecture: str
+    workload: str
+    latency_s: float
+    power_w: float
+    energy_j: float
+    edp_js: float
+
+
+def energy_row(arch: PimArchitecture, workload: Workload) -> EnergyRow:
+    """Joules and EDP for one inference.
+
+    Uses the same workload-aware power normalization as Table 5.4 (the
+    silicon actually serving the inference).
+    """
+    latency = latency_for(arch, workload)
+    power = arch.normalization_power_w(workload.name)
+    if latency <= 0 or power <= 0:
+        raise ModelError(
+            f"non-positive latency/power for {arch.name}/{workload.name}"
+        )
+    energy = latency * power
+    return EnergyRow(
+        architecture=arch.name,
+        workload=workload.name,
+        latency_s=latency,
+        power_w=power,
+        energy_j=energy,
+        edp_js=energy * latency,
+    )
+
+
+def energy_table(
+    workloads: tuple[Workload, ...] = (EBNN, YOLOV3),
+) -> list[EnergyRow]:
+    """Energy rows for every Table 5.4 architecture and workload."""
+    return [
+        energy_row(arch, workload)
+        for arch in TABLE_5_4_ARCHITECTURES
+        for workload in workloads
+    ]
+
+
+def most_efficient(workload: Workload) -> EnergyRow:
+    """The architecture spending the fewest joules per inference."""
+    rows = [
+        energy_row(arch, workload) for arch in TABLE_5_4_ARCHITECTURES
+    ]
+    return min(rows, key=lambda row: row.energy_j)

@@ -1,0 +1,167 @@
+"""The generic PIM performance model, Equations 5.1-5.6 and 5.10.
+
+Chapter 5 models any PIM's latency for a batch of identical operations as
+
+* ``T_tot = T_mem + T_comp``                             (Eq. 5.1)
+* ``T_comp = C_comp / Freq``                             (Eq. 5.2)
+* ``C_comp = C_op * ceil(TOPs / PEs)``                   (Eq. 5.3)
+* ``C_op  = f(x) * C_BB * D_p``                          (Eq. 5.4)
+  with piecewise (Eq. 5.5) and multi-building-block (Eq. 5.6) variants,
+* ``T_mem = T_transfer * ceil(TOPs / (PEs * sizebuf/(2*Lenop)))``
+                                                         (Eq. 5.10)
+
+The model deliberately assumes a worst-case PIM with no overlap between
+memory transfer and computation (Section 5.1).  Every function here is a
+pure function of its parameters so the architecture registry and the
+experiments can compose them freely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ModelError
+
+
+def op_cycles(scale: float, building_block_cycles: float, pipeline_stages: int) -> float:
+    """Eq. 5.4: cycles of one operation, ``C_op = f(x) * C_BB * D_p``."""
+    _require_positive("f(x)", scale)
+    _require_positive("C_BB", building_block_cycles)
+    _require_positive("D_p", pipeline_stages)
+    return scale * building_block_cycles * pipeline_stages
+
+
+def op_cycles_piecewise(
+    operand_bits: int,
+    threshold_bits: int,
+    below_scale: Callable[[int], float],
+    at_or_above_scale: Callable[[int], float],
+    building_block_cycles: float,
+    pipeline_stages: int,
+) -> float:
+    """Eq. 5.5: the scale function switches designs at ``threshold_bits``.
+
+    UPMEM's multiplication is the canonical case (Eq. 5.8): hardware
+    sequences below the subroutine threshold, compiler-rt above.
+    """
+    _require_positive("operand bits", operand_bits)
+    scale_fn = below_scale if operand_bits < threshold_bits else at_or_above_scale
+    return op_cycles(scale_fn(operand_bits), building_block_cycles, pipeline_stages)
+
+
+def op_cycles_multi_block(
+    blocks: Sequence[tuple[float, float]],
+    pipeline_stages: int,
+) -> float:
+    """Eq. 5.6: serially executed heterogeneous building blocks.
+
+    ``blocks`` is a sequence of ``(f_k(x), C_BBk)`` pairs; DRISA's shift /
+    select / carry-save / full-adder chain (Eq. 5.7) is the canonical case.
+    Collapses to Eq. 5.5 with a single block and to Eq. 5.4 with a single
+    scale function.
+    """
+    if not blocks:
+        raise ModelError("Eq. 5.6 needs at least one building block")
+    _require_positive("D_p", pipeline_stages)
+    total = 0.0
+    for scale, block_cycles in blocks:
+        _require_positive("f_k(x)", scale)
+        _require_positive("C_BBk", block_cycles)
+        total += scale * block_cycles
+    return total * pipeline_stages
+
+
+def compute_cycles(op_cycles_value: float, total_ops: int, n_pes: int) -> float:
+    """Eq. 5.3: ``C_comp = C_op * ceil(TOPs / PEs)``.
+
+    The ceil captures the extra serial wave an uneven division forces.
+    """
+    _require_positive("C_op", op_cycles_value)
+    _require_positive("TOPs", total_ops)
+    _require_positive("PEs", n_pes)
+    return op_cycles_value * math.ceil(total_ops / n_pes)
+
+
+def compute_seconds(compute_cycles_value: float, frequency_hz: float) -> float:
+    """Eq. 5.2: ``T_comp = C_comp / Freq``."""
+    _require_positive("C_comp", compute_cycles_value)
+    _require_positive("Freq", frequency_hz)
+    return compute_cycles_value / frequency_hz
+
+
+def memory_seconds(
+    transfer_seconds: float,
+    total_ops: int,
+    n_pes: int,
+    buffer_bits: int,
+    operand_bits: int,
+) -> float:
+    """Eq. 5.10: transfer time times the number of buffer refills.
+
+    Each PE owns one local buffer of ``buffer_bits``; an operation consumes
+    two operands of ``operand_bits``, so the system stages
+    ``PEs * sizebuf / (2 * Lenop)`` operations per refill.
+    """
+    _require_positive("T_transfer", transfer_seconds)
+    _require_positive("TOPs", total_ops)
+    _require_positive("PEs", n_pes)
+    _require_positive("sizebuf", buffer_bits)
+    _require_positive("Lenop", operand_bits)
+    ops_per_pe = buffer_bits // (2 * operand_bits)
+    if ops_per_pe < 1:
+        raise ModelError(
+            f"buffer of {buffer_bits} bits cannot hold one "
+            f"{operand_bits}-bit operand pair"
+        )
+    local_ops = n_pes * ops_per_pe
+    return transfer_seconds * math.ceil(total_ops / local_ops)
+
+
+def total_seconds(memory_seconds_value: float, compute_seconds_value: float) -> float:
+    """Eq. 5.1: ``T_tot = T_mem + T_comp``."""
+    if memory_seconds_value < 0 or compute_seconds_value < 0:
+        raise ModelError("negative time component")
+    return memory_seconds_value + compute_seconds_value
+
+
+def total_seconds_overlapped(
+    memory_seconds_value: float,
+    compute_seconds_value: float,
+    overlap_fraction: float,
+) -> float:
+    """Eq. 5.1 relaxed: partial transfer/compute overlap.
+
+    The thesis's model deliberately assumes a worst-case PIM with **no**
+    overlap (Section 5.1).  Real designs double-buffer; this extension
+    hides ``overlap_fraction`` of the smaller component behind the larger
+    one, interpolating from Eq. 5.1 (0.0) to perfect pipelining (1.0,
+    where ``T_tot = max(T_mem, T_comp)``).
+    """
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ModelError(
+            f"overlap fraction {overlap_fraction} outside [0, 1]"
+        )
+    serial = total_seconds(memory_seconds_value, compute_seconds_value)
+    hidden = overlap_fraction * min(memory_seconds_value, compute_seconds_value)
+    return serial - hidden
+
+
+@dataclass(frozen=True)
+class ModelEvaluation:
+    """A full Eq. 5.1 evaluation with its intermediate quantities."""
+
+    op_cycles: float
+    compute_cycles: float
+    compute_seconds: float
+    memory_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return total_seconds(self.memory_seconds, self.compute_seconds)
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ModelError(f"{name} must be positive, got {value}")

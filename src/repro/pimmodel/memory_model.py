@@ -1,0 +1,93 @@
+"""The memory model in use: Table 5.3 and the Eq. 5.1 totals (Section 5.3).
+
+``T_mem`` counts how many times each PE's local buffer must be refilled
+from the far memory to stream the whole workload through, times the cost
+of one refill transfer.  Per architecture the refill mechanism differs —
+tRCD subarray copies for pPIM, RowClone for DRISA, MRAM->WRAM DMA for
+UPMEM — so ``T_transfer`` is a per-architecture constant from the
+registry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.pimmodel import equations
+from repro.pimmodel.architectures import MODELED, PimArchitecture
+from repro.pimmodel.compute_model import table_5_1
+from repro.pimmodel.workloads import ALEXNET
+
+
+@dataclass(frozen=True)
+class Table53Column:
+    """One architecture's column of Table 5.3."""
+
+    architecture: str
+    transfer_seconds: float
+    total_ops: float
+    n_pes: int
+    buffer_bits: int
+    operand_bits: int
+    ops_per_pe: int
+    local_ops: int
+    memory_seconds: float
+
+
+def memory_column(
+    arch: PimArchitecture, operand_bits: int = 8, total_ops: float | None = None
+) -> Table53Column:
+    """Evaluate Eq. 5.10 for one architecture."""
+    if arch.transfer_seconds is None or arch.buffer_bits is None:
+        raise ModelError(f"{arch.name} has no memory-model parameters")
+    tops = total_ops if total_ops is not None else ALEXNET.total_ops
+    ops_per_pe = arch.buffer_bits // (2 * operand_bits)
+    local_ops = arch.n_pes * ops_per_pe
+    t_mem = equations.memory_seconds(
+        arch.transfer_seconds, int(tops), arch.n_pes, arch.buffer_bits, operand_bits
+    )
+    return Table53Column(
+        architecture=arch.name,
+        transfer_seconds=arch.transfer_seconds,
+        total_ops=tops,
+        n_pes=arch.n_pes,
+        buffer_bits=arch.buffer_bits,
+        operand_bits=operand_bits,
+        ops_per_pe=ops_per_pe,
+        local_ops=local_ops,
+        memory_seconds=t_mem,
+    )
+
+
+def table_5_3(operand_bits: int = 8) -> dict[str, Table53Column]:
+    """Reproduce Table 5.3: the memory model for 8-bit AlexNet."""
+    return {
+        name: memory_column(arch, operand_bits) for name, arch in MODELED.items()
+    }
+
+
+def refill_count(arch: PimArchitecture, total_ops: float, operand_bits: int = 8) -> int:
+    """How many buffer refills Eq. 5.10 charges."""
+    column = memory_column(arch, operand_bits, total_ops)
+    return math.ceil(column.total_ops / column.local_ops)
+
+
+def alexnet_total_times(operand_bits: int = 8) -> dict[str, float]:
+    """Eq. 5.1 applied to AlexNet: T_mem (Table 5.3) + T_comp (Table 5.1).
+
+    The thesis's Section 5.3.1 totals: pPIM 6.90e-2 s, DRISA 1.40e-1 s,
+    UPMEM 2.57e-1 s.
+    """
+    compute = table_5_1(operand_bits)
+    memory = table_5_3(operand_bits)
+    return {
+        name: equations.total_seconds(
+            memory[name].memory_seconds, compute[name].compute_seconds_workload
+        )
+        for name in MODELED
+    }
+
+
+#: The totals Section 5.3.1 reports, for paper-vs-model comparison.
+PAPER_ALEXNET_TOTALS_S = {"pPIM": 6.90e-2, "DRISA": 1.40e-1, "UPMEM": 2.57e-1}

@@ -1,0 +1,133 @@
+"""Per-architecture operand-size scale functions (Eqs. 5.7-5.9, Table 5.2).
+
+Each PIM's ``C_op`` for multiplication as a function of operand width:
+
+* **pPIM** (Eq. 5.9): one LUT building block, one cycle, no pipeline.
+  Exact literature values for 4/8 bits; the Algorithm 3 worst-case
+  estimate for 16/32 bits.
+* **DRISA** (Eq. 5.7): bitwise XNOR logic below 4 bits, shift/select/CSA/FA
+  chains above.  Exact literature values for 4-32 bits follow the linear
+  law ``C_op = 20 + 22.5x`` the thesis's curve fit produces, which also
+  supplies the starred 32-bit estimate.
+* **UPMEM** (Eq. 5.8): 4 hardware instructions through the 11-stage
+  pipeline below the subroutine threshold; estimated subroutine lengths at
+  or above it (the threshold sits at 16 bits unoptimized, 32 optimized).
+
+Accumulation costs (Table 5.1 row 4) complete the MAC:
+``C_op(MAC) = (accum_f + mult_f(x)) * C_BB * D_p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.pimmodel import ppim
+
+#: Operand widths the thesis tabulates (Table 5.2).
+TABLE_5_2_WIDTHS = (4, 8, 16, 32)
+
+#: Table 5.2, verbatim: C_op for multiplication.  Starred thesis entries
+#: (estimates) are marked in :data:`TABLE_5_2_ESTIMATED`.
+TABLE_5_2_MULT_CYCLES: dict[str, dict[int, int]] = {
+    "pPIM": {4: 1, 8: 6, 16: 124, 32: 1016},
+    "DRISA": {4: 110, 8: 200, 16: 380, 32: 740},
+    "UPMEM": {4: 44, 8: 44, 16: 370, 32: 570},
+}
+
+TABLE_5_2_ESTIMATED: dict[str, set[int]] = {
+    "pPIM": {16, 32},
+    "DRISA": {32},
+    "UPMEM": {16, 32},
+}
+
+#: Table 5.1 row 4: accumulation scale f(x) at 8 bits.
+ACCUMULATE_SCALE = {"pPIM": 2, "DRISA": 11, "UPMEM": 4}
+
+
+def ppim_mult_cycles(operand_bits: int) -> int:
+    """Eq. 5.9 instantiated: literature values, else Algorithm 3."""
+    exact = {4: 1, 8: 6}
+    if operand_bits in exact:
+        return exact[operand_bits]
+    return ppim.multiplication_cycles_estimate(operand_bits)
+
+
+def drisa_mult_cycles(operand_bits: int) -> int:
+    """Eq. 5.7's aggregate, via the thesis's linear curve fit 20 + 22.5x."""
+    if operand_bits < 1:
+        raise ModelError(f"bad operand width {operand_bits}")
+    return int(round(20 + 22.5 * operand_bits))
+
+
+def upmem_mult_cycles(operand_bits: int, *, optimized: bool = False) -> int:
+    """Eq. 5.8: g(x) = 4 instructions below the subroutine threshold.
+
+    The threshold ``n`` is 16 bits unoptimized and 32 bits under full
+    optimization (Section 5.2.2).  Subroutine costs are the thesis's
+    Table 5.2 estimates.
+    """
+    if operand_bits < 1:
+        raise ModelError(f"bad operand width {operand_bits}")
+    threshold = 32 if optimized else 16
+    if operand_bits < threshold:
+        return 4 * 11  # g(x)=4 instructions, C_BB=1, D_p=11
+    subroutine = {16: 370, 32: 570}
+    if operand_bits in subroutine:
+        return subroutine[operand_bits]
+    raise ModelError(
+        f"no UPMEM subroutine estimate for {operand_bits}-bit multiply"
+    )
+
+
+@dataclass(frozen=True)
+class MacCost:
+    """C_op decomposition of a multiply-accumulate (Table 5.1 rows 1-6)."""
+
+    architecture: str
+    pipeline_stages: int
+    building_block_cycles: int
+    accumulate_scale: int
+    multiply_scale: int
+
+    @property
+    def op_cycles(self) -> int:
+        """Row 6: ``(accum + mult) * C_BB * D_p``."""
+        return (
+            (self.accumulate_scale + self.multiply_scale)
+            * self.building_block_cycles
+            * self.pipeline_stages
+        )
+
+
+def mac_cost(architecture: str, operand_bits: int = 8) -> MacCost:
+    """The Table 5.1 MAC cost rows for one of the three modeled PIMs.
+
+    The multiply scale is expressed in building-block executions, i.e.
+    Table 5.2's cycles divided back by ``C_BB * D_p``.
+    """
+    if architecture == "pPIM":
+        return MacCost("pPIM", 1, 1, ACCUMULATE_SCALE["pPIM"],
+                       ppim_mult_cycles(operand_bits))
+    if architecture == "DRISA":
+        return MacCost("DRISA", 1, 1, ACCUMULATE_SCALE["DRISA"],
+                       drisa_mult_cycles(operand_bits))
+    if architecture == "UPMEM":
+        mult_cycles = upmem_mult_cycles(operand_bits)
+        return MacCost("UPMEM", 11, 1, ACCUMULATE_SCALE["UPMEM"],
+                       mult_cycles // 11)
+    raise ModelError(f"no MAC cost model for architecture {architecture!r}")
+
+
+def mult_cycles(architecture: str, operand_bits: int) -> int:
+    """Table 5.2 lookup with fall-through to the per-arch scale laws."""
+    table = TABLE_5_2_MULT_CYCLES.get(architecture)
+    if table and operand_bits in table:
+        return table[operand_bits]
+    if architecture == "pPIM":
+        return ppim_mult_cycles(operand_bits)
+    if architecture == "DRISA":
+        return drisa_mult_cycles(operand_bits)
+    if architecture == "UPMEM":
+        return upmem_mult_cycles(operand_bits)
+    raise ModelError(f"no multiplication model for {architecture!r}")

@@ -1,0 +1,68 @@
+"""Workload operation counts the Chapter 5 model evaluates (TOPs).
+
+Three workloads appear in the thesis's model chapters:
+
+* **AlexNet** — ``TOPs = 2.59e9`` (Tables 5.1 and 5.3), the thesis's count
+  of AlexNet's multiply and accumulate instructions.
+* **eBNN** and **YOLOv3** — the operation counts behind Table 5.4's
+  analytical latencies.  The thesis does not print them, but they are
+  uniquely recoverable from the published numbers: every analytical row of
+  Table 5.4 satisfies ``latency = C_op * TOPs / (PEs * freq)``, and
+  solving the pPIM rows (C_op = 8, PEs = 256, freq = 1.25 GHz) gives
+  **15 200** ops for eBNN and **2.72e10** for YOLOv3 — values that then
+  reproduce the DRISA rows to three significant figures, confirming the
+  recovery.  (See EXPERIMENTS.md for the cross-check.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named operation count fed to the analytical model."""
+
+    name: str
+    total_ops: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.total_ops <= 0:
+            raise WorkloadError(f"workload {self.name!r} has no operations")
+
+
+ALEXNET = Workload(
+    "alexnet",
+    2.59e9,
+    "AlexNet inference, multiply+accumulate instruction count "
+    "(thesis Tables 5.1/5.3)",
+)
+
+EBNN = Workload(
+    "ebnn",
+    15_200,
+    "eBNN inference op count behind Table 5.4's analytical latencies "
+    "(recovered from the published pPIM row; see module docstring)",
+)
+
+YOLOV3 = Workload(
+    "yolov3",
+    2.72e10,
+    "YOLOv3 inference op count behind Table 5.4's analytical latencies "
+    "(recovered from the published pPIM row; see module docstring)",
+)
+
+WORKLOADS: dict[str, Workload] = {w.name: w for w in (ALEXNET, EBNN, YOLOV3)}
+
+
+def get(name: str) -> Workload:
+    """Look up a workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None

@@ -1,0 +1,82 @@
+"""Tests for repro.baselines.cpu (the Xeon comparator of Fig. 4.7(c))."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import (
+    IMAGES_RESIDENT_PER_DPU,
+    CpuBaseline,
+    XeonModel,
+    dpu_speedup_curve,
+)
+from repro.datasets import generate_batch
+from repro.nn.models.ebnn import EbnnConfig, EbnnModel
+from repro.errors import WorkloadError
+
+
+class TestXeonModel:
+    def test_image_latency_positive_and_reasonable(self):
+        latency = XeonModel().ebnn_image_seconds(EbnnConfig())
+        assert 1e-6 < latency < 1e-3
+
+    def test_batch_scales_linearly(self):
+        xeon = XeonModel()
+        config = EbnnConfig()
+        assert xeon.ebnn_batch_seconds(config, 10) == pytest.approx(
+            10 * xeon.ebnn_image_seconds(config)
+        )
+
+    def test_faster_clock_lower_latency(self):
+        config = EbnnConfig()
+        slow = XeonModel(frequency_hz=2.0e9).ebnn_image_seconds(config)
+        fast = XeonModel(frequency_hz=4.0e9).ebnn_image_seconds(config)
+        assert fast < slow
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            XeonModel(frequency_hz=0)
+        with pytest.raises(WorkloadError):
+            XeonModel(per_image_overhead_s=-1)
+        with pytest.raises(WorkloadError):
+            XeonModel().ebnn_batch_seconds(EbnnConfig(), 0)
+
+
+class TestCpuBaseline:
+    def test_functional_path_is_reference_model(self):
+        model = EbnnModel()
+        baseline = CpuBaseline(model)
+        batch = generate_batch(6, seed=5).normalized()
+        assert np.array_equal(
+            baseline.predict_batch(batch), model.predict_batch(batch)
+        )
+
+    def test_batch_seconds(self):
+        baseline = CpuBaseline(EbnnModel())
+        assert baseline.batch_seconds(100) > baseline.batch_seconds(10)
+
+
+class TestSpeedupCurve:
+    def test_linear_scaling(self):
+        """Fig. 4.7(c): speedup is linear in the DPU count."""
+        curve = dpu_speedup_curve(1e-4, 2e-3, [1, 2, 4, 8])
+        speedups = [s for _, s in curve]
+        assert speedups[1] == pytest.approx(2 * speedups[0])
+        assert speedups[3] == pytest.approx(8 * speedups[0])
+
+    def test_maximum_at_full_system(self):
+        counts = [1, 256, 2560]
+        curve = dpu_speedup_curve(5e-5, 2.4e-3, counts)
+        assert curve[-1][1] == max(s for _, s in curve)
+        assert curve[-1][0] == 2560
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            dpu_speedup_curve(0, 1e-3, [1])
+        with pytest.raises(WorkloadError):
+            dpu_speedup_curve(1e-3, 1e-3, [0])
+
+    def test_mram_image_capacity_constant(self):
+        """Section 4.3.2's 316800 resident images per DPU."""
+        assert IMAGES_RESIDENT_PER_DPU == 316_800
+        # sanity: 316800 packed 28x28 binary images fit 64 MB MRAM with room
+        assert 316_800 * 104 < 64 * 1024 * 1024

@@ -1,0 +1,84 @@
+"""Tests for repro.core.batch_yolo (the Section 6.1 mapping comparison)."""
+
+import pytest
+
+from repro.core.batch_yolo import (
+    compare_mappings,
+    fits_single_dpu,
+    peak_activation_bytes,
+    single_dpu_footprint_bytes,
+    weight_bytes,
+    whole_image_dpu_cycles,
+)
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.nn.models.darknet import Yolov3Model
+
+
+@pytest.fixture(scope="module")
+def full_model():
+    return Yolov3Model(416)
+
+
+@pytest.fixture(scope="module")
+def half_model():
+    return Yolov3Model(416, width_scale=0.5)
+
+
+class TestFootprint:
+    def test_full_yolo_weights_match_published_size(self, full_model):
+        """YOLOv3 has ~61.9 M parameters -> ~124 MB at int16."""
+        assert weight_bytes(full_model) == pytest.approx(123.8e6, rel=0.01)
+
+    def test_full_yolo_does_not_fit_one_dpu(self, full_model):
+        assert not fits_single_dpu(full_model)
+        assert single_dpu_footprint_bytes(full_model) > UPMEM_ATTRIBUTES.mram_bytes
+
+    def test_half_width_fits(self, half_model):
+        assert fits_single_dpu(half_model)
+
+    def test_activation_peak_is_early_layer(self, full_model):
+        """The widest working set is a high-resolution early layer."""
+        peak = peak_activation_bytes(full_model)
+        first = full_model.plans[1].gemm  # 64-filter downsample at 208x208
+        assert peak >= (first.k * first.n) * 2
+
+    def test_footprint_is_weights_plus_peak(self, half_model):
+        assert single_dpu_footprint_bytes(half_model) == weight_bytes(
+            half_model
+        ) + peak_activation_bytes(half_model)
+
+
+class TestComparison:
+    def test_infeasible_reports_no_whole_numbers(self, full_model):
+        comparison = compare_mappings(full_model)
+        assert not comparison.feasible
+        assert comparison.whole_latency_s is None
+        assert comparison.throughput_advantage is None
+        assert comparison.row_latency_s > 0
+
+    def test_feasible_tradeoff(self, half_model):
+        comparison = compare_mappings(half_model)
+        assert comparison.feasible
+        # throughput wins big, latency loses big — the eBNN-style trade
+        assert comparison.throughput_advantage > 10
+        assert comparison.latency_penalty > 20
+        # whole-image throughput uses the entire 2560-DPU system
+        assert comparison.whole_throughput_fps == pytest.approx(
+            2560 / comparison.whole_latency_s
+        )
+
+    def test_whole_image_cycles_scale_with_width(self):
+        quarter = Yolov3Model(416, width_scale=0.25)
+        eighth = Yolov3Model(416, width_scale=0.125)
+        assert whole_image_dpu_cycles(quarter) > whole_image_dpu_cycles(eighth)
+
+    def test_row_numbers_consistent_with_network_timing(self, half_model):
+        from repro.core.mapping_yolo import yolo_network_timing
+        from repro.dpu.costs import OptLevel
+
+        comparison = compare_mappings(half_model)
+        timing = yolo_network_timing(
+            half_model, opt_level=OptLevel.O3, n_tasklets=11
+        )
+        assert comparison.row_latency_s == pytest.approx(timing.total_seconds)
+        assert comparison.row_dpus == timing.total_dpu_demand

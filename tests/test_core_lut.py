@@ -1,0 +1,115 @@
+"""Tests for repro.core.lut (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lut import LookupTable, create_lut, lut_matches_float_path
+from repro.nn.layers import BatchNormParams, binary_activation
+from repro.nn.models.ebnn import EbnnModel
+from repro.errors import MappingError
+
+
+def make_bn(seed=0, n=4):
+    rng = np.random.default_rng(seed)
+    return BatchNormParams(
+        w0=rng.uniform(-1, 1, n),
+        w1=rng.uniform(-2, 2, n),
+        w2=rng.uniform(0.5, 3, n),
+        w3=rng.uniform(0.5, 1.5, n),
+        w4=rng.uniform(-1, 1, n),
+    )
+
+
+class TestCreation:
+    def test_dimensions(self):
+        lut = create_lut(make_bn(n=4), -9, 9)
+        assert lut.range_size == 19
+        assert lut.n_filters == 4
+        assert lut.size_bytes == 19 * 4
+
+    def test_entries_are_bits(self):
+        lut = create_lut(make_bn(), -9, 9)
+        assert set(np.unique(lut.table)) <= {0, 1}
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(MappingError):
+            create_lut(make_bn(), 5, 4)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_lut_equals_float_path(self, seed):
+        """The correctness property of Section 4.1.4, for random BN."""
+        bn = make_bn(seed)
+        lut = create_lut(bn, -9, 9)
+        assert lut_matches_float_path(lut, bn)
+
+    def test_matches_ebnn_model_bn(self):
+        model = EbnnModel()
+        lut = create_lut(model.bn, *model.config.conv_range)
+        assert lut_matches_float_path(lut, model.bn)
+
+
+class TestIndexing:
+    def setup_method(self):
+        self.bn = make_bn(n=3)
+        self.lut = create_lut(self.bn, -9, 9)
+
+    def test_algorithm_1_flat_index(self):
+        """index = (value - x) * z + j."""
+        assert self.lut.index(-9, 0) == 0
+        assert self.lut.index(-9, 2) == 2
+        assert self.lut.index(-8, 0) == 3
+        assert self.lut.index(9, 2) == 18 * 3 + 2
+
+    def test_lookup_matches_bn(self):
+        for value in (-9, -1, 0, 5, 9):
+            for j in range(3):
+                expected = int(
+                    binary_activation(self.bn.apply(np.array([float(value)]), j))[0]
+                )
+                assert self.lut.lookup(value, j) == expected
+
+    def test_out_of_range_value(self):
+        with pytest.raises(MappingError):
+            self.lut.lookup(10, 0)
+        with pytest.raises(MappingError):
+            self.lut.lookup(-10, 0)
+
+    def test_bad_filter(self):
+        with pytest.raises(MappingError):
+            self.lut.lookup(0, 3)
+
+    def test_lookup_map_vectorized(self):
+        values = np.array([[-9, 0], [3, 9]])
+        out = self.lut.lookup_map(values, 1)
+        for (y, x), value in np.ndenumerate(values):
+            assert out[y, x] == self.lut.lookup(int(value), 1)
+
+    def test_lookup_map_validates_range(self):
+        with pytest.raises(MappingError):
+            self.lut.lookup_map(np.array([100]), 0)
+
+    def test_lookup_all(self):
+        maps = np.random.default_rng(0).integers(-9, 10, size=(3, 4, 4))
+        out = self.lut.lookup_all(maps)
+        assert out.shape == maps.shape
+        for j in range(3):
+            assert np.array_equal(out[j], self.lut.lookup_map(maps[j], j))
+
+    def test_lookup_all_filter_count_checked(self):
+        with pytest.raises(MappingError):
+            self.lut.lookup_all(np.zeros((5, 2, 2), dtype=np.int64))
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        lut = create_lut(make_bn(3, n=5), -9, 9)
+        raw = lut.to_bytes()
+        assert len(raw) % 8 == 0
+        restored = LookupTable.from_bytes(raw, -9, 9, 5)
+        assert np.array_equal(restored.table, lut.table)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(MappingError):
+            LookupTable.from_bytes(b"\x00" * 8, -9, 9, 5)

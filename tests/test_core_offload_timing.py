@@ -1,0 +1,121 @@
+"""Tests for repro.core.offload and repro.core.timing."""
+
+import pytest
+
+from repro.core.offload import (
+    FunctionProfile,
+    ebnn_application_profile,
+    partition,
+    yolo_application_profile,
+)
+from repro.core.timing import (
+    LatencyBreakdown,
+    breakdown_from_cycles,
+    speedup,
+    transfer_seconds,
+)
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.errors import MappingError
+
+
+class TestFunctionProfile:
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            FunctionProfile("x", -1, 0, 0.5)
+        with pytest.raises(MappingError):
+            FunctionProfile("x", 1, 1, 1.5)
+
+
+class TestPartition:
+    def test_float_functions_stay_on_host(self):
+        profile = [
+            FunctionProfile("gemm", 1000, 100, 0.99),
+            FunctionProfile("softmax", 100, 10, 0.99, uses_float=True),
+        ]
+        plan = partition(profile)
+        assert plan.dpu_functions == ["gemm"]
+        assert "softmax" in plan.host_functions
+
+    def test_float_allowed_when_requested(self):
+        profile = [FunctionProfile("bn", 1000, 100, 0.99, uses_float=True)]
+        plan = partition(profile, allow_float_on_dpu=True)
+        assert plan.dpu_functions == ["bn"]
+
+    def test_serial_functions_stay_on_host(self):
+        profile = [
+            FunctionProfile("gemm", 1000, 100, 0.99),
+            FunctionProfile("control", 500, 10, 0.1),
+        ]
+        plan = partition(profile)
+        assert "control" in plan.host_functions
+
+    def test_tiny_functions_stay_on_host(self):
+        profile = [
+            FunctionProfile("gemm", 100_000, 100, 0.99),
+            FunctionProfile("init", 10, 10, 0.99),
+        ]
+        plan = partition(profile)
+        assert "init" in plan.host_functions
+
+    def test_every_decision_has_a_reason(self):
+        plan = partition(ebnn_application_profile(100_000, 3000))
+        for decision in plan.decisions:
+            assert decision.reason
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(MappingError):
+            partition([])
+
+    def test_ebnn_profile_offloads_conv_only(self):
+        """The paper's split: conv-pool to DPU; BN/softmax/io to host."""
+        plan = partition(ebnn_application_profile(100_000, 3000))
+        assert plan.dpu_functions == ["binary_conv_pool"]
+        assert set(plan.host_functions) == {"bn_binact", "fc_softmax", "image_io"}
+
+    def test_yolo_profile_offloads_gemm_only(self):
+        plan = partition(yolo_application_profile(33_000_000_000))
+        assert plan.dpu_functions == ["gemm"]
+        assert plan.offloaded_ops_fraction() > 0.98
+
+
+class TestLatencyBreakdown:
+    def test_total_and_fraction(self):
+        breakdown = LatencyBreakdown(0.1, 0.7, 0.2)
+        assert breakdown.total_seconds == pytest.approx(1.0)
+        assert breakdown.dpu_fraction == pytest.approx(0.7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(MappingError):
+            LatencyBreakdown(-0.1, 0.0, 0.0)
+
+    def test_frequency_rescale(self):
+        """Section 4.3.4: 350 -> 600 MHz shrinks only the DPU share."""
+        breakdown = LatencyBreakdown(0.1, 0.6, 0.1)
+        faster = breakdown.scaled_frequency(600e6)
+        assert faster.dpu_seconds == pytest.approx(0.6 * 350 / 600)
+        assert faster.transfer_seconds == 0.1
+        assert faster.host_seconds == 0.1
+
+    def test_bad_frequency(self):
+        with pytest.raises(MappingError):
+            LatencyBreakdown(0, 1, 0).scaled_frequency(0)
+
+
+class TestHelpers:
+    def test_transfer_seconds(self):
+        assert transfer_seconds(16_000_000_000) == pytest.approx(1.0)
+        with pytest.raises(MappingError):
+            transfer_seconds(-1)
+
+    def test_breakdown_from_cycles(self):
+        breakdown = breakdown_from_cycles(
+            350e6, transfer_bytes=0, host_seconds=0.5,
+            attributes=UPMEM_ATTRIBUTES,
+        )
+        assert breakdown.dpu_seconds == pytest.approx(1.0)
+        assert breakdown.total_seconds == pytest.approx(1.5)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(MappingError):
+            speedup(1.0, 0.0)

@@ -1,0 +1,109 @@
+"""Tests for repro.core.planner (automatic mapping decisions)."""
+
+import pytest
+
+from repro.core.mapping_yolo import AccumulatorPolicy, yolo_network_timing
+from repro.core.planner import MappingPlanner, Scheme
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.dpu.costs import OptLevel
+from repro.nn.gemm import GemmShape
+from repro.nn.models.darknet import Yolov3Model
+from repro.nn.models.ebnn import EbnnConfig
+from repro.errors import MappingError
+
+
+@pytest.fixture
+def planner():
+    return MappingPlanner()
+
+
+class TestGemmLayerDecisions:
+    def test_dpus_track_filter_count(self, planner):
+        decision = planner.plan_gemm_layer("l", GemmShape(m=64, n=169, k=512))
+        assert decision.n_dpus == 64
+        assert decision.scheme is Scheme.GEMM_ROW
+        assert decision.n_tasklets == 11
+
+    def test_wide_layers_wave(self):
+        small_system = MappingPlanner(UPMEM_ATTRIBUTES.scaled(16))
+        decision = small_system.plan_gemm_layer(
+            "l", GemmShape(m=64, n=169, k=512)
+        )
+        assert decision.n_dpus == 16
+        assert "waves" in decision.rationale
+
+    def test_policy_in_rationale(self, planner):
+        wram = planner.plan_gemm_layer("a", GemmShape(m=8, n=169, k=64))
+        mram = planner.plan_gemm_layer("b", GemmShape(m=8, n=43264, k=64))
+        assert wram.policy is AccumulatorPolicy.WRAM
+        assert "fits WRAM" in wram.rationale
+        assert mram.policy is AccumulatorPolicy.MRAM
+        assert "spills to MRAM" in mram.rationale
+
+
+class TestImageBatchDecisions:
+    def test_ebnn_gets_paper_parameters(self, planner):
+        decision = planner.plan_image_batch("e", EbnnConfig(), 64)
+        # 16 x 104-byte images fit the 2048-byte staging transfer
+        assert decision.n_tasklets == 16
+        assert decision.n_dpus == 4
+        assert decision.scheme is Scheme.IMAGE_BATCH
+
+    def test_larger_images_shrink_the_batch(self, planner):
+        big = EbnnConfig(image_size=56)
+        decision = planner.plan_image_batch("e", big, 16)
+        # 56x56 packs to 392 -> 2048 // 392 = 5 images per DPU
+        assert decision.n_dpus == 4
+        assert "5 images" in decision.rationale
+
+    def test_zero_images_rejected(self, planner):
+        with pytest.raises(MappingError):
+            planner.plan_image_batch("e", EbnnConfig(), 0)
+
+
+class TestWholeNetworkPlans:
+    def test_ebnn_plan_matches_hand_mapping(self, planner):
+        """The planner reproduces the paper's hand-tuned eBNN mapping."""
+        from repro.core.mapping_ebnn import ebnn_dpu_cycles
+
+        plan = planner.plan_ebnn(EbnnConfig(), 16)
+        hand = ebnn_dpu_cycles(EbnnConfig(), opt_level=OptLevel.O3)
+        assert plan.total_cycles == pytest.approx(hand, rel=1e-9)
+
+    def test_yolo_plan_matches_hand_mapping(self, planner):
+        model = Yolov3Model(416)
+        plan = planner.plan_yolov3(model)
+        hand = yolo_network_timing(
+            model, opt_level=OptLevel.O3, n_tasklets=11
+        )
+        assert plan.total_seconds == pytest.approx(
+            hand.total_seconds, rel=1e-9
+        )
+        assert plan.peak_dpus == 1024
+        assert len(plan.decisions) == 75
+
+    def test_auto_dispatch(self, planner):
+        assert planner.plan_auto(EbnnConfig()).decisions[0].scheme is (
+            Scheme.IMAGE_BATCH
+        )
+        yolo_plan = planner.plan_auto(Yolov3Model(416))
+        assert all(
+            d.scheme is Scheme.GEMM_ROW for d in yolo_plan.decisions
+        )
+        with pytest.raises(MappingError):
+            planner.plan_auto(object())
+
+    def test_scheme_histogram(self, planner):
+        plan = planner.plan_auto(Yolov3Model(416))
+        assert plan.scheme_histogram() == {Scheme.GEMM_ROW: 75}
+
+    def test_oversized_working_set_rejected(self, planner):
+        huge = EbnnConfig(image_size=112, filters=128)
+        assert not planner.fits_image_batch(huge)
+        with pytest.raises(MappingError, match="working set"):
+            planner.plan_ebnn(huge, 16)
+
+    def test_working_set_accounting(self, planner):
+        config = EbnnConfig()
+        total = planner.working_set_bytes(config)
+        assert 0 < total <= planner.WRAM_WORKING_SET_BUDGET

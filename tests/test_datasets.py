@@ -1,0 +1,98 @@
+"""Tests for repro.datasets (synthetic MNIST and detection scenes)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    dog_image_stand_in,
+    generate_batch,
+    generate_scene,
+    render_digit,
+)
+from repro.errors import WorkloadError
+
+
+class TestDigits:
+    def test_render_shape_and_values(self):
+        for digit in range(10):
+            image = render_digit(digit)
+            assert image.shape == (28, 28)
+            assert set(np.unique(image)) <= {0, 255}
+            assert image.sum() > 0  # has ink
+
+    def test_distinct_glyphs(self):
+        renders = [render_digit(d).tobytes() for d in range(10)]
+        assert len(set(renders)) == 10
+
+    def test_bad_digit(self):
+        with pytest.raises(WorkloadError):
+            render_digit(10)
+
+
+class TestBatchGeneration:
+    def test_deterministic(self):
+        a = generate_batch(12, seed=7)
+        b = generate_batch(12, seed=7)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_batch(12, seed=7)
+        b = generate_batch(12, seed=8)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_labels_cycle(self):
+        batch = generate_batch(25, seed=0)
+        assert batch.labels.tolist() == [i % 10 for i in range(25)]
+
+    def test_normalized_range(self):
+        normalized = generate_batch(4, seed=0).normalized()
+        assert normalized.dtype == np.float32
+        assert normalized.min() >= 0.0
+        assert normalized.max() <= 1.0
+
+    def test_len(self):
+        assert len(generate_batch(9, seed=0)) == 9
+
+    def test_jitter_moves_glyphs(self):
+        clean = generate_batch(10, seed=0, max_shift=0, noise_fraction=0.0)
+        jittered = generate_batch(10, seed=0, max_shift=3, noise_fraction=0.0)
+        assert not np.array_equal(clean.images, jittered.images)
+
+    def test_no_noise_keeps_binary(self):
+        batch = generate_batch(5, seed=0, noise_fraction=0.0)
+        assert set(np.unique(batch.images)) <= {0, 255}
+
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            generate_batch(0)
+        with pytest.raises(WorkloadError):
+            generate_batch(1, noise_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            generate_batch(1, max_shift=-1)
+
+
+class TestScenes:
+    def test_shape_and_range(self):
+        scene = generate_scene(64, seed=3)
+        assert scene.shape == (3, 64, 64)
+        assert scene.dtype == np.float32
+        assert scene.min() >= 0.0 and scene.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(generate_scene(64, seed=3), generate_scene(64, seed=3))
+
+    def test_objects_add_structure(self):
+        plain = generate_scene(64, seed=3, n_objects=0)
+        busy = generate_scene(64, seed=3, n_objects=5)
+        assert not np.array_equal(plain, busy)
+
+    def test_dog_stand_in_is_416(self):
+        scene = dog_image_stand_in()
+        assert scene.shape == (3, 416, 416)
+
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            generate_scene(4)
+        with pytest.raises(WorkloadError):
+            generate_scene(64, n_objects=-1)

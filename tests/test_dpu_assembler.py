@@ -1,0 +1,123 @@
+"""Tests for repro.dpu.assembler."""
+
+import pytest
+
+from repro.dpu.assembler import assemble
+from repro.dpu.isa import Opcode
+from repro.errors import AssemblerError
+
+
+class TestBasicParsing:
+    def test_empty_program(self):
+        program = assemble("")
+        assert len(program) == 0
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble(
+            """
+            # a comment
+            // another comment
+            nop   # trailing comment
+            """
+        )
+        assert len(program) == 1
+        assert program.instructions[0].opcode is Opcode.NOP
+
+    def test_three_operand_alu(self):
+        program = assemble("add r3, r1, r2")
+        instr = program.instructions[0]
+        assert instr.opcode is Opcode.ADD
+        assert (instr.rd, instr.rs, instr.rt) == (3, 1, 2)
+
+    def test_immediate_forms(self):
+        program = assemble("addi r1, r2, -5\nlsli r3, r4, 7")
+        assert program.instructions[0].imm == -5
+        assert program.instructions[1].imm == 7
+
+    def test_hex_immediates(self):
+        program = assemble("li r1, 0xFF")
+        assert program.instructions[0].imm == 255
+
+    def test_load_store(self):
+        program = assemble("lw r1, r2, 8\nsw r1, r2, 12")
+        load, store = program.instructions
+        assert load.opcode is Opcode.LW and load.rd == 1 and load.imm == 8
+        assert store.opcode is Opcode.SW and store.rt == 1 and store.imm == 12
+
+    def test_call(self):
+        program = assemble("call __mulsi3")
+        assert program.instructions[0].target == "__mulsi3"
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble("ADD r1, r1, r1")
+        assert program.instructions[0].opcode is Opcode.ADD
+
+
+class TestLabels:
+    def test_label_resolution(self):
+        program = assemble(
+            """
+            li r1, 3
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                halt
+            """
+        )
+        assert program.labels["loop"] == 1
+        branch = program.instructions[2]
+        assert branch.target == 1
+
+    def test_forward_reference(self):
+        program = assemble(
+            """
+                j end
+                nop
+            end:
+                halt
+            """
+        )
+        assert program.instructions[0].target == 2
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("start: nop")
+        assert program.labels["start"] == 0
+
+    def test_entry(self):
+        program = assemble("a: nop\nb: halt")
+        assert program.entry() == 0
+        assert program.entry("b") == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2, r3")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="expected register"):
+            assemble("add r1, r2, r99")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblerError, match="expected immediate"):
+            assemble("li r1, banana")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 3 operands"):
+            assemble("add r1, r2")
+
+    def test_bad_label_name(self):
+        with pytest.raises(AssemblerError, match="bad label"):
+            assemble("9lives: nop")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1")

@@ -1,0 +1,111 @@
+"""Tests for repro.dpu.attributes (Table 2.1)."""
+
+import pytest
+
+from repro.dpu.attributes import (
+    ANNOUNCED_FREQUENCY_HZ,
+    UPMEM_ATTRIBUTES,
+    UpmemAttributes,
+)
+
+
+class TestTable21Values:
+    """The platform constants must match Table 2.1 verbatim."""
+
+    def test_dpu_count(self):
+        assert UPMEM_ATTRIBUTES.n_dpus == 2560
+
+    def test_dpus_per_dimm(self):
+        assert UPMEM_ATTRIBUTES.dpus_per_dimm == 128
+
+    def test_dpus_per_chip(self):
+        assert UPMEM_ATTRIBUTES.dpus_per_chip == 8
+
+    def test_dimm_count(self):
+        assert UPMEM_ATTRIBUTES.n_dimms == 20
+
+    def test_memory_per_chip(self):
+        assert UPMEM_ATTRIBUTES.memory_per_chip_bytes == 512 * 1024 * 1024
+
+    def test_dpu_area(self):
+        assert UPMEM_ATTRIBUTES.dpu_area_mm2 == pytest.approx(3.75)
+
+    def test_dpu_power(self):
+        assert UPMEM_ATTRIBUTES.dpu_power_w == pytest.approx(0.120)
+
+    def test_frequency(self):
+        assert UPMEM_ATTRIBUTES.frequency_hz == pytest.approx(350e6)
+
+    def test_tasklet_range(self):
+        assert UPMEM_ATTRIBUTES.max_tasklets == 24
+
+    def test_pipeline_stages(self):
+        assert UPMEM_ATTRIBUTES.pipeline_stages == 11
+
+    def test_registers_per_thread(self):
+        assert UPMEM_ATTRIBUTES.registers_per_thread == 32
+
+    def test_memory_sizes(self):
+        assert UPMEM_ATTRIBUTES.mram_bytes == 64 * 1024 * 1024
+        assert UPMEM_ATTRIBUTES.wram_bytes == 64 * 1024
+        assert UPMEM_ATTRIBUTES.iram_bytes == 24 * 1024
+
+    def test_announced_frequency(self):
+        assert ANNOUNCED_FREQUENCY_HZ == pytest.approx(600e6)
+
+
+class TestDerivedQuantities:
+    def test_chip_count(self):
+        assert UPMEM_ATTRIBUTES.n_chips == 320
+
+    def test_chips_per_dimm(self):
+        assert UPMEM_ATTRIBUTES.chips_per_dimm == 16
+
+    def test_cycle_time(self):
+        assert UPMEM_ATTRIBUTES.cycle_time_s == pytest.approx(1 / 350e6)
+
+    def test_cycles_to_seconds(self):
+        assert UPMEM_ATTRIBUTES.cycles_to_seconds(350e6) == pytest.approx(1.0)
+
+    def test_cycles_to_seconds_zero(self):
+        assert UPMEM_ATTRIBUTES.cycles_to_seconds(0) == 0.0
+
+
+class TestScaled:
+    def test_scaled_reduces_population(self):
+        small = UPMEM_ATTRIBUTES.scaled(4)
+        assert small.n_dpus == 4
+        assert small.frequency_hz == UPMEM_ATTRIBUTES.frequency_hz
+        assert small.mram_bytes == UPMEM_ATTRIBUTES.mram_bytes
+
+    def test_scaled_adjusts_hierarchy(self):
+        small = UPMEM_ATTRIBUTES.scaled(4)
+        assert small.dpus_per_dimm <= 4
+        assert small.dpus_per_chip <= 4
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            UPMEM_ATTRIBUTES.scaled(0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            UPMEM_ATTRIBUTES.n_dpus = 1
+
+
+class TestTableRendering:
+    def test_as_table_has_all_rows(self):
+        rows = UPMEM_ATTRIBUTES.as_table()
+        assert len(rows) == 13
+        names = [name for name, _ in rows]
+        assert "No. of DPUs" in names
+        assert "DPU WRAM Size" in names
+
+    def test_byte_formatting(self):
+        rows = dict(UPMEM_ATTRIBUTES.as_table())
+        assert rows["DPU MRAM Size"] == "64 MB"
+        assert rows["DPU WRAM Size"] == "64 KB"
+        assert rows["DPU IRAM Size"] == "24 KB"
+
+    def test_dpu_count_mentions_dimms(self):
+        rows = dict(UPMEM_ATTRIBUTES.as_table())
+        assert rows["No. of DPUs"] == "2560 (20 DIMM)"

@@ -1,0 +1,120 @@
+"""Tests for repro.dpu.disassembler (text round trips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dpu.assembler import assemble
+from repro.dpu.disassembler import disassemble, disassemble_instruction
+from repro.dpu.encoding import decode_program, encode_program
+from repro.dpu.interpreter import run_program
+from repro.dpu.isa import Instruction, Opcode
+
+_PROGRAMS = {
+    "loop": """
+        li   r1, 0
+        li   r2, 12
+    loop:
+        addi r1, r1, 3
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        li   r9, 0
+        sw   r1, r9, 0
+        halt
+    """,
+    "call_and_branch": """
+        li   r1, 6
+        li   r2, 7
+        call __mulsi3
+        li   r3, 42
+        beq  r1, r3, good
+        li   r4, 0
+        j    end
+    good:
+        li   r4, 1
+    end:
+        li   r9, 0
+        sw   r4, r9, 0
+        halt
+    """,
+    "sync": """
+        tid  r1
+        acquire 3
+        release 3
+        barrier
+        halt
+    """,
+}
+
+
+def wram_words(wram, count=4):
+    return [wram.read_u32(4 * i) for i in range(count)]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(_PROGRAMS))
+    def test_reassembled_program_behaves_identically(self, name):
+        original = assemble(_PROGRAMS[name])
+        text = disassemble(original)
+        reassembled = assemble(text)
+        result_a, wram_a = run_program(original, n_tasklets=2)
+        result_b, wram_b = run_program(reassembled, n_tasklets=2)
+        assert wram_words(wram_a) == wram_words(wram_b)
+        assert result_a.cycles == result_b.cycles
+
+    def test_disassembly_via_binary(self):
+        """asm -> binary -> decode -> disassemble -> asm still works."""
+        original = assemble(_PROGRAMS["call_and_branch"])
+        decoded = decode_program(encode_program(original))
+        reassembled = assemble(disassemble(decoded))
+        _, wram = run_program(reassembled)
+        assert wram.read_u32(0) == 1  # 6 * 7 == 42 branch taken
+
+    def test_labels_are_generated(self):
+        text = disassemble(assemble(_PROGRAMS["loop"]))
+        assert "L2:" in text
+        assert "bne r2, r0, L2" in text
+
+
+class TestInstructionForms:
+    def test_representative_forms(self):
+        cases = [
+            (Instruction(Opcode.ADD, rd=1, rs=2, rt=3), "add r1, r2, r3"),
+            (Instruction(Opcode.ADDI, rd=1, rs=2, imm=-5), "addi r1, r2, -5"),
+            (Instruction(Opcode.LI, rd=4, imm=100), "li r4, 100"),
+            (Instruction(Opcode.SW, rt=1, rs=2, imm=8), "sw r1, r2, 8"),
+            (Instruction(Opcode.LDMA, rd=1, rs=2, imm=64), "ldma r1, r2, 64"),
+            (Instruction(Opcode.CALL, target="__addsf3"), "call __addsf3"),
+            (Instruction(Opcode.ACQUIRE, imm=5), "acquire 5"),
+            (Instruction(Opcode.BARRIER), "barrier"),
+            (Instruction(Opcode.HALT), "halt"),
+        ]
+        for instruction, expected in cases:
+            assert disassemble_instruction(instruction) == expected
+
+    def test_branch_uses_label_table(self):
+        instruction = Instruction(Opcode.BEQ, rs=1, rt=2, target=7)
+        assert disassemble_instruction(instruction, {7: "loop"}) == (
+            "beq r1, r2, loop"
+        )
+        assert disassemble_instruction(instruction) == "beq r1, r2, 7"
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_programs_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        ops = ["add", "sub", "xor", "mul8"]
+        lines = [f"li r{i}, {rng.integers(0, 200)}" for i in range(1, 5)]
+        for _ in range(8):
+            op = ops[rng.integers(0, len(ops))]
+            rd, rs, rt = rng.integers(1, 5, size=3)
+            lines.append(f"{op} r{rd}, r{rs}, r{rt}")
+        lines += ["li r9, 0"] + [
+            f"sw r{i}, r9, {4 * i}" for i in range(1, 5)
+        ] + ["halt"]
+        original = assemble("\n".join(lines))
+        reassembled = assemble(disassemble(original))
+        _, wram_a = run_program(original)
+        _, wram_b = run_program(reassembled)
+        for i in range(1, 5):
+            assert wram_a.read_u32(4 * i) == wram_b.read_u32(4 * i)

@@ -1,0 +1,105 @@
+"""Tests for repro.dpu.encoding (64-bit instruction words)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dpu.assembler import assemble
+from repro.dpu.encoding import (
+    EncodedProgram,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.dpu.interpreter import run_program
+from repro.dpu.isa import Instruction, Opcode
+from repro.errors import DpuFaultError
+
+_SAMPLE = """
+        li   r1, 0
+        li   r2, 25
+    loop:
+        addi r1, r1, 2
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        li   r9, 0
+        sw   r1, r9, 0
+        call __mulsi3
+        halt
+"""
+
+
+class TestInstructionRoundTrip:
+    @given(
+        st.sampled_from([
+            Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+            Opcode.MUL8, Opcode.SLT, Opcode.MOVE, Opcode.LW, Opcode.SW,
+        ]),
+        st.integers(0, 31), st.integers(0, 31), st.integers(0, 31),
+        st.integers(-(2**20), 2**20),
+    )
+    @settings(max_examples=300)
+    def test_register_forms(self, opcode, rd, rs, rt, imm):
+        original = Instruction(opcode, rd=rd, rs=rs, rt=rt, imm=imm)
+        decoded = decode_instruction(encode_instruction(original))
+        assert decoded.opcode is original.opcode
+        assert (decoded.rd, decoded.rs, decoded.rt) == (rd, rs, rt)
+        assert decoded.imm == imm
+
+    def test_branch_target_round_trip(self):
+        original = Instruction(Opcode.BNE, rs=1, rt=0, target=42)
+        decoded = decode_instruction(encode_instruction(original))
+        assert decoded.target == 42
+
+    def test_negative_immediate(self):
+        original = Instruction(Opcode.ADDI, rd=1, rs=1, imm=-1)
+        decoded = decode_instruction(encode_instruction(original))
+        assert decoded.imm == -1
+
+    def test_call_needs_relocation(self):
+        word = encode_instruction(Instruction(Opcode.CALL, target="__mulsi3"))
+        with pytest.raises(DpuFaultError, match="relocation"):
+            decode_instruction(word)
+        decoded = decode_instruction(word, "__mulsi3")
+        assert decoded.target == "__mulsi3"
+
+    def test_illegal_opcode_rejected(self):
+        with pytest.raises(DpuFaultError, match="illegal opcode"):
+            decode_instruction(0xFF)
+
+    def test_oversized_immediate_rejected(self):
+        with pytest.raises(DpuFaultError):
+            encode_instruction(Instruction(Opcode.LI, rd=1, imm=2**40))
+
+
+class TestProgramRoundTrip:
+    def test_encoded_size(self):
+        program = assemble(_SAMPLE)
+        encoded = encode_program(program)
+        assert encoded.size_bytes == 8 * len(program)
+        assert encoded.n_instructions == len(program)
+
+    def test_call_table_collected(self):
+        encoded = encode_program(assemble(_SAMPLE))
+        assert list(encoded.call_table.values()) == ["__mulsi3"]
+
+    def test_decoded_program_executes_identically(self):
+        program = assemble(_SAMPLE)
+        round_tripped = decode_program(encode_program(program))
+        original_result, original_wram = run_program(program)
+        decoded_result, decoded_wram = run_program(round_tripped)
+        assert original_wram.read_u32(0) == decoded_wram.read_u32(0) == 50
+        assert original_result.cycles == decoded_result.cycles
+        assert (
+            original_result.instructions_retired
+            == decoded_result.instructions_retired
+        )
+
+    def test_misaligned_image_rejected(self):
+        with pytest.raises(DpuFaultError, match="word-aligned"):
+            decode_program(EncodedProgram(words=b"\x00" * 12))
+
+    def test_fits_iram_budget(self):
+        """A full IRAM holds 3072 words; the sample is far below."""
+        encoded = encode_program(assemble(_SAMPLE))
+        assert encoded.size_bytes <= 24 * 1024

@@ -1,0 +1,248 @@
+"""Tests for repro.dpu.interpreter (execution + cycle accounting)."""
+
+import pytest
+
+from repro.dpu.assembler import assemble
+from repro.dpu.costs import OptLevel
+from repro.dpu.interpreter import Interpreter, run_program
+from repro.dpu.memory import DmaEngine, Mram, Wram
+from repro.errors import DpuLimitError
+
+
+def run(source, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+class TestArithmetic:
+    def test_addition_loop(self):
+        result, wram = run(
+            """
+                li r1, 0
+                li r2, 10
+            loop:
+                addi r1, r1, 3
+                addi r2, r2, -1
+                bne r2, r0, loop
+                li r4, 0
+                sw r1, r4, 0
+                halt
+            """
+        )
+        assert wram.read_u32(0) == 30
+
+    def test_logic_and_shifts(self):
+        _, wram = run(
+            """
+                li r1, 0xF0
+                li r2, 0x0F
+                or r3, r1, r2
+                and r4, r1, r2
+                xor r5, r1, r2
+                lsli r6, r2, 4
+                li r9, 0
+                sw r3, r9, 0
+                sw r4, r9, 4
+                sw r5, r9, 8
+                sw r6, r9, 12
+                halt
+            """
+        )
+        assert wram.read_u32(0) == 0xFF
+        assert wram.read_u32(4) == 0x00
+        assert wram.read_u32(8) == 0xFF
+        assert wram.read_u32(12) == 0xF0
+
+    def test_mul8_hardware(self):
+        _, wram = run(
+            """
+                li r1, 200
+                li r2, 100
+                mul8 r3, r1, r2
+                li r9, 0
+                sw r3, r9, 0
+                halt
+            """
+        )
+        assert wram.read_u32(0) == 20000
+
+    def test_signed_comparison_branch(self):
+        _, wram = run(
+            """
+                li r1, -5
+                li r2, 3
+                li r4, 0
+                blt r1, r2, is_less
+                li r3, 0
+                j done
+            is_less:
+                li r3, 1
+            done:
+                sw r3, r4, 0
+                halt
+            """
+        )
+        assert wram.read_u32(0) == 1
+
+    def test_slt_sltu_disagree_on_negative(self):
+        _, wram = run(
+            """
+                li r1, -1
+                li r2, 1
+                slt r3, r1, r2
+                sltu r4, r1, r2
+                li r9, 0
+                sw r3, r9, 0
+                sw r4, r9, 4
+                halt
+            """
+        )
+        assert wram.read_u32(0) == 1  # signed: -1 < 1
+        assert wram.read_u32(4) == 0  # unsigned: 0xFFFFFFFF > 1
+
+    def test_zero_register_ignores_writes(self):
+        _, wram = run(
+            """
+                li r0, 42
+                li r9, 0
+                sw r0, r9, 0
+                halt
+            """
+        )
+        assert wram.read_u32(0) == 0
+
+    def test_jal_jr_subroutine(self):
+        _, wram = run(
+            """
+                li r9, 0
+                jal sub
+                sw r1, r9, 0
+                halt
+            sub:
+                li r1, 99
+                jr r31
+            """
+        )
+        assert wram.read_u32(0) == 99
+
+
+class TestRuntimeCalls:
+    def test_mulsi3_functional(self):
+        _, wram = run(
+            """
+                li r1, 100000
+                li r2, 70000
+                call __mulsi3
+                li r9, 0
+                sw r1, r9, 0
+                halt
+            """
+        )
+        assert wram.read_u32(0) == (100000 * 70000) & 0xFFFFFFFF
+
+    def test_float_add_via_call(self):
+        # 1.0f (0x3f800000) + 2.0f (0x40000000) = 3.0f (0x40400000)
+        _, wram = run(
+            """
+                li r1, 0x3f800000
+                li r2, 0x40000000
+                call __addsf3
+                li r9, 0
+                sw r1, r9, 0
+                halt
+            """
+        )
+        assert wram.read_u32(0) == 0x40400000
+
+    def test_call_profiled(self):
+        result, _ = run("li r1, 2\nli r2, 3\ncall __mulsi3\nhalt")
+        assert result.profile.occurrences("__mulsi3") == 1
+
+    def test_call_stalls_the_tasklet(self):
+        plain, _ = run("nop\nnop\nnop\nhalt")
+        with_call, _ = run("li r1, 1\nli r2, 1\ncall __divsf3\nhalt")
+        assert with_call.cycles > plain.cycles + 1000  # fdiv is ~12k cycles
+
+
+class TestDma:
+    def test_ldma_moves_and_stalls(self):
+        mram, wram = Mram(), Wram()
+        mram.write(256, b"ABCDEFGH")
+        dma = DmaEngine(mram, wram)
+        program = assemble(
+            """
+                li r1, 0      # wram addr
+                li r2, 256    # mram addr
+                ldma r1, r2, 8
+                halt
+            """
+        )
+        interpreter = Interpreter(program, wram, dma)
+        result = interpreter.run()
+        assert wram.read(0, 8) == b"ABCDEFGH"
+        assert result.dma_transfers == 1
+        assert result.dma_cycles == 25 + 4
+
+    def test_sdma_writes_back(self):
+        mram, wram = Mram(), Wram()
+        wram.write(8, b"12345678")
+        dma = DmaEngine(mram, wram)
+        program = assemble(
+            """
+                li r1, 8
+                li r2, 512
+                sdma r1, r2, 8
+                halt
+            """
+        )
+        Interpreter(program, wram, dma).run()
+        assert mram.read(512, 8) == b"12345678"
+
+
+class TestTiming:
+    def test_n_instructions_at_one_tasklet(self):
+        """N instructions, one tasklet: exactly 11N cycles."""
+        result, _ = run("nop\n" * 50 + "halt")
+        assert result.cycles == 51 * 11
+
+    def test_tasklets_share_the_pipeline(self):
+        source = "nop\n" * 110 + "halt"
+        single, _ = run(source, n_tasklets=1)
+        many, _ = run(source, n_tasklets=11)
+        # 11 tasklets run 11x the work in roughly the single-tasklet time
+        assert many.cycles == pytest.approx(single.cycles, rel=0.05)
+
+    def test_tid_differs_per_tasklet(self):
+        # each tasklet stores its id at WRAM[4*tid]
+        result, wram = run(
+            """
+                tid r1
+                lsli r2, r1, 2
+                sw r1, r2, 0
+                halt
+            """,
+            n_tasklets=4,
+        )
+        assert [wram.read_u32(4 * i) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_retired_instruction_counts(self):
+        result, _ = run("nop\nnop\nhalt", n_tasklets=3)
+        assert result.instructions_retired == 9
+        assert result.per_tasklet_instructions == [3, 3, 3]
+
+    def test_runaway_loop_guard(self):
+        program = assemble("loop: j loop")
+        interpreter = Interpreter(
+            program, Wram(), DmaEngine(Mram(), Wram()), max_instructions=1000
+        )
+        with pytest.raises(DpuLimitError):
+            interpreter.run()
+
+    def test_falling_off_the_end_halts(self):
+        result, _ = run("nop")
+        assert result.instructions_retired == 1
+
+    def test_opt_level_changes_call_cost(self):
+        source = "li r1, 7\nli r2, 9\ncall __mulsi3\nhalt"
+        o0, _ = run(source, opt_level=OptLevel.O0)
+        o3, _ = run(source, opt_level=OptLevel.O3)
+        assert o3.cycles < o0.cycles

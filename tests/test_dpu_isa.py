@@ -1,0 +1,68 @@
+"""Tests for repro.dpu.isa (instruction/program data model)."""
+
+import pytest
+
+from repro.dpu.isa import (
+    BRANCH_OPS,
+    IMMEDIATE_OPS,
+    LINK_REGISTER,
+    MUTEX_COUNT,
+    Instruction,
+    Opcode,
+    Program,
+)
+
+
+class TestOpcodeSets:
+    def test_immediate_ops_are_alu_immediates(self):
+        assert Opcode.ADDI in IMMEDIATE_OPS
+        assert Opcode.LSLI in IMMEDIATE_OPS
+        assert Opcode.ADD not in IMMEDIATE_OPS
+
+    def test_branch_ops(self):
+        assert BRANCH_OPS == {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+
+    def test_constants(self):
+        assert LINK_REGISTER == 31
+        assert MUTEX_COUNT == 64
+
+    def test_mnemonics_unique(self):
+        values = [op.value for op in Opcode]
+        assert len(values) == len(set(values))
+
+
+class TestInstruction:
+    def test_defaults(self):
+        instruction = Instruction(Opcode.NOP)
+        assert instruction.rd == instruction.rs == instruction.rt == 0
+        assert instruction.imm == 0
+        assert instruction.target is None
+
+    def test_str_prefers_source_text(self):
+        with_text = Instruction(Opcode.ADD, rd=1, text="add r1, r2, r3")
+        bare = Instruction(Opcode.ADD, rd=1)
+        assert str(with_text) == "add r1, r2, r3"
+        assert str(bare) == "add"
+
+    def test_frozen(self):
+        instruction = Instruction(Opcode.NOP)
+        with pytest.raises(Exception):
+            instruction.rd = 5
+
+
+class TestProgram:
+    def test_len_and_entry(self):
+        program = Program(
+            instructions=[Instruction(Opcode.NOP), Instruction(Opcode.HALT)],
+            labels={"start": 0, "end": 1},
+        )
+        assert len(program) == 2
+        assert program.entry() == 0
+        assert program.entry("end") == 1
+
+    def test_entry_unknown_label(self):
+        with pytest.raises(KeyError):
+            Program().entry("missing")
+
+    def test_empty_program(self):
+        assert len(Program()) == 0

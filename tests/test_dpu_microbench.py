@@ -1,0 +1,67 @@
+"""Tests for repro.dpu.microbench (the Chapter 3 measurement programs)."""
+
+import pytest
+
+from repro.dpu import microbench
+from repro.dpu.costs import Operation, Precision, TABLE_3_1_MEASURED
+from repro.errors import DpuError
+
+
+class TestOpMeasurement:
+    @pytest.mark.parametrize("key", sorted(TABLE_3_1_MEASURED, key=str))
+    def test_measurement_matches_closed_form(self, key):
+        """Interpreter measurement == analytic prediction, every op."""
+        operation, precision = key
+        measured = microbench.measure_operation_cycles(operation, precision)
+        assert measured == microbench.expected_measurement(operation, precision)
+
+    @pytest.mark.parametrize("key", sorted(TABLE_3_1_MEASURED, key=str))
+    def test_measurement_within_five_cycles_of_paper(self, key):
+        operation, precision = key
+        measured = microbench.measure_operation_cycles(operation, precision)
+        assert abs(measured - TABLE_3_1_MEASURED[key]) <= 5
+
+    def test_exact_reproduction_of_fixed_add(self):
+        assert (
+            microbench.measure_operation_cycles(Operation.ADD, Precision.FIXED_8)
+            == 272
+        )
+
+    def test_exact_reproduction_of_float_div(self):
+        assert (
+            microbench.measure_operation_cycles(Operation.DIV, Precision.FLOAT_32)
+            == 12064
+        )
+
+    def test_program_stores_result_to_wram(self):
+        from repro.dpu.interpreter import run_program
+
+        program = microbench.build_op_measurement_program(
+            Operation.MUL, Precision.FIXED_32
+        )
+        result, wram = run_program(program)
+        assert wram.read_u32(12) == result.perf_values[0][0]
+
+
+class TestFloatProfile:
+    def test_profile_contains_fig_3_2_mix(self):
+        result = microbench.run_float_profile(8)
+        for name in ("__ltsf2", "__divsf3", "__floatsisf", "__addsf3", "__muldi3"):
+            assert result.profile.occurrences(name) == 8
+
+    def test_occurrences_scale_with_elements(self):
+        result = microbench.run_float_profile(20)
+        assert result.profile.occurrences("__divsf3") == 20
+
+    def test_bad_element_count(self):
+        with pytest.raises(DpuError):
+            microbench.build_float_profile_program(0)
+
+    def test_float_division_dominates_cycles(self):
+        """__divsf3 is the costliest subroutine, as Table 3.1 implies."""
+        result = microbench.run_float_profile(8)
+        records = result.profile.records
+        div_cycles = records["__divsf3"].cycles_single_tasklet()
+        for name, record in records.items():
+            if name != "__divsf3":
+                assert record.cycles_single_tasklet() < div_cycles

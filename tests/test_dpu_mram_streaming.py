@@ -1,0 +1,55 @@
+"""Program-level validation of the Eq. 3.4 streaming model."""
+
+import numpy as np
+import pytest
+
+from repro.dpu.interpreter import Interpreter
+from repro.dpu.memory import DmaEngine, Mram, Wram, streamed_transfer_cycles
+from repro.dpu.samples import mram_copy_program
+from repro.errors import DpuError
+
+DST = 8 * 1024 * 1024
+
+
+class TestMramCopy:
+    def run_copy(self, n_chunks, chunk_bytes=2048):
+        total = n_chunks * chunk_bytes
+        mram, wram = Mram(), Wram()
+        payload = np.random.default_rng(n_chunks).integers(
+            0, 256, total
+        ).astype(np.uint8)
+        mram.write_array(0, payload)
+        dma = DmaEngine(mram, wram)
+        program = mram_copy_program(n_chunks, chunk_bytes=chunk_bytes)
+        result = Interpreter(program, wram, dma).run()
+        return payload, mram, result
+
+    def test_data_arrives_intact(self):
+        payload, mram, _ = self.run_copy(4)
+        assert np.array_equal(
+            mram.read_array(DST, np.uint8, payload.size), payload
+        )
+
+    def test_dma_cycles_match_streaming_model(self):
+        """Program DMA time == two streamed transfers of the total size."""
+        n_chunks = 6
+        _, _, result = self.run_copy(n_chunks)
+        total_bytes = n_chunks * 2048
+        assert result.dma_cycles == 2 * streamed_transfer_cycles(total_bytes)
+        assert result.dma_transfers == 2 * n_chunks
+
+    def test_smaller_chunks_cost_more(self):
+        """More setup penalties: 256-byte beats beat 2048-byte beats."""
+        _, _, small = self.run_copy(16, chunk_bytes=256)   # 4 KB total
+        _, _, large = self.run_copy(2, chunk_bytes=2048)   # 4 KB total
+        assert small.dma_cycles > large.dma_cycles
+        # both moved the same bytes
+        assert small.dma_transfers == 32 and large.dma_transfers == 4
+
+    def test_validation(self):
+        with pytest.raises(DpuError):
+            mram_copy_program(0)
+        with pytest.raises(DpuError):
+            mram_copy_program(1, chunk_bytes=4096)
+        with pytest.raises(DpuError):
+            mram_copy_program(1, chunk_bytes=6)

@@ -1,0 +1,164 @@
+"""Tests for repro.dpu.pipeline (the tasklet dispatch model)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dpu import pipeline
+from repro.errors import DpuLimitError
+
+
+class TestDispatchInterval:
+    def test_single_tasklet_is_pipeline_depth(self):
+        assert pipeline.dispatch_interval(1) == 11
+
+    def test_below_depth_stays_at_depth(self):
+        for tasklets in range(1, 12):
+            assert pipeline.dispatch_interval(tasklets) == 11
+
+    def test_above_depth_grows_with_tasklets(self):
+        assert pipeline.dispatch_interval(16) == 16
+        assert pipeline.dispatch_interval(24) == 24
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DpuLimitError):
+            pipeline.dispatch_interval(0)
+        with pytest.raises(DpuLimitError):
+            pipeline.dispatch_interval(25)
+
+
+class TestAggregateIpc:
+    def test_saturates_at_one(self):
+        assert pipeline.aggregate_ipc(11) == 1.0
+        assert pipeline.aggregate_ipc(24) == 1.0
+
+    def test_fractional_below_depth(self):
+        assert pipeline.aggregate_ipc(1) == pytest.approx(1 / 11)
+        assert pipeline.aggregate_ipc(5) == pytest.approx(5 / 11)
+
+
+class TestExecutionCycles:
+    def test_single_tasklet_single_instruction(self):
+        """One instruction takes a full pipeline traversal."""
+        assert pipeline.execution_cycles(1, 1) == 11
+
+    def test_single_tasklet_n_instructions(self):
+        """N instructions at depth-11 dispatch: exactly 11N cycles."""
+        assert pipeline.execution_cycles(100, 1) == 1100
+
+    def test_zero_work(self):
+        assert pipeline.execution_cycles(0, 8) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DpuLimitError):
+            pipeline.execution_cycles(-1, 1)
+
+    def test_full_pipeline_approaches_one_ipc(self):
+        cycles = pipeline.execution_cycles(10_000, 11)
+        total_instructions = 10_000 * 11
+        assert cycles / total_instructions == pytest.approx(1.0, rel=0.01)
+
+    @given(st.integers(1, 1000), st.integers(1, 24))
+    @settings(max_examples=100)
+    def test_monotone_in_work(self, instructions, tasklets):
+        assert pipeline.execution_cycles(
+            instructions + 1, tasklets
+        ) >= pipeline.execution_cycles(instructions, tasklets)
+
+
+class TestBalancedExecution:
+    def test_even_split(self):
+        # 88 instructions over 8 tasklets: 11 each.
+        cycles = pipeline.balanced_execution_cycles(88, 8)
+        assert cycles == pipeline.execution_cycles(11, 8)
+
+    def test_straggler_rounds_up(self):
+        # 89 instructions over 8 tasklets: one runs 12.
+        cycles = pipeline.balanced_execution_cycles(89, 8)
+        assert cycles == pipeline.execution_cycles(12, 8)
+
+    def test_zero(self):
+        assert pipeline.balanced_execution_cycles(0, 4) == 0.0
+
+    @given(st.integers(4, 400))
+    @settings(max_examples=100)
+    def test_speedup_saturates_at_pipeline_depth(self, k):
+        """Beyond 11 tasklets the wall time never improves (work >> T).
+
+        Work is a multiple of lcm(11, 24) so ceil-remainder jitter cannot
+        mask the saturation law.
+        """
+        work = k * 264
+        at_11 = pipeline.balanced_execution_cycles(work, 11)
+        at_24 = pipeline.balanced_execution_cycles(work, 24)
+        assert at_24 >= at_11
+
+    @given(st.integers(1000, 100_000), st.integers(1, 10))
+    @settings(max_examples=100)
+    def test_more_tasklets_never_hurt_below_depth(self, work, tasklets):
+        fewer = pipeline.balanced_execution_cycles(work, tasklets)
+        more = pipeline.balanced_execution_cycles(work, tasklets + 1)
+        assert more <= fewer * 1.01  # allow ceil jitter
+
+
+class TestThreadingSpeedup:
+    def test_linear_region(self):
+        """Fig. 4.7(a): near-linear speedup while the pipeline fills."""
+        assert pipeline.threading_speedup(110_000, 2) == pytest.approx(2.0, rel=0.01)
+        assert pipeline.threading_speedup(110_000, 8) == pytest.approx(8.0, rel=0.01)
+
+    def test_saturation_at_eleven(self):
+        s11 = pipeline.threading_speedup(1_100_000, 11)
+        s24 = pipeline.threading_speedup(1_100_000, 24)
+        assert s11 == pytest.approx(11.0, rel=0.01)
+        assert s24 <= s11 * 1.001
+
+
+class TestStackBudget:
+    def test_paper_stack_figure(self):
+        """Section 4.3.4: 11 threads -> ~5.8 KB stacks."""
+        per_thread = pipeline.max_stack_bytes(11)
+        assert per_thread == pytest.approx(5.8 * 1024, rel=0.03)
+
+    def test_reservation_reduces_budget(self):
+        assert pipeline.max_stack_bytes(8, reserved_bytes=8192) == (
+            (64 * 1024 - 8192) // 8
+        )
+
+    def test_over_reservation_rejected(self):
+        with pytest.raises(DpuLimitError):
+            pipeline.max_stack_bytes(1, reserved_bytes=65 * 1024)
+
+
+class TestTaskletClock:
+    def test_staggered_start(self):
+        clock = pipeline.TaskletClock(3)
+        assert clock.dispatch(0) == 0.0
+        assert clock.dispatch(1) == 1.0
+        assert clock.dispatch(2) == 2.0
+
+    def test_redispatch_after_interval(self):
+        clock = pipeline.TaskletClock(1)
+        clock.dispatch(0)
+        assert clock.dispatch(0) == 11.0
+
+    def test_stall_delays_only_that_tasklet(self):
+        clock = pipeline.TaskletClock(2)
+        clock.dispatch(0, extra_stall_cycles=100.0)
+        clock.dispatch(1)
+        assert clock.dispatch(1) == pytest.approx(12.0)
+        assert clock.dispatch(0) == pytest.approx(111.0)
+
+    def test_finish_cycle_empty(self):
+        assert pipeline.TaskletClock(4).finish_cycle() == 0.0
+
+    def test_finish_after_single_instruction(self):
+        clock = pipeline.TaskletClock(1)
+        clock.dispatch(0)
+        assert clock.finish_cycle() == 11.0
+
+    def test_retired_counts(self):
+        clock = pipeline.TaskletClock(2)
+        clock.dispatch(0)
+        clock.dispatch(0)
+        clock.dispatch(1)
+        assert clock.retired == [2, 1]

@@ -1,0 +1,84 @@
+"""Tests for repro.dpu.profiler (perfcounter + subroutine profiles)."""
+
+import pytest
+
+from repro.dpu.costs import PROFILING_OVERHEAD_CYCLES
+from repro.dpu.profiler import PerfCounter, SubroutineProfile
+from repro.errors import DpuError
+
+
+class TestPerfCounter:
+    def test_measures_elapsed_plus_overhead(self):
+        counter = PerfCounter()
+        counter.config(100.0)
+        assert counter.get(350.0) == 250 + PROFILING_OVERHEAD_CYCLES
+
+    def test_get_before_config_raises(self):
+        with pytest.raises(DpuError):
+            PerfCounter().get(10.0)
+
+    def test_reconfigure_resets(self):
+        counter = PerfCounter()
+        counter.config(0.0)
+        counter.get(100.0)
+        counter.config(500.0)
+        assert counter.get(511.0) == 11 + PROFILING_OVERHEAD_CYCLES
+
+
+class TestSubroutineProfile:
+    def test_record_and_query(self):
+        profile = SubroutineProfile()
+        profile.record("__addsf3", 77, 3)
+        assert profile.occurrences("__addsf3") == 3
+        assert profile.occurrences("__mulsf3") == 0
+        assert profile.total_occurrences() == 3
+
+    def test_instructions_accumulate(self):
+        profile = SubroutineProfile()
+        profile.record("__mulsi3", 68)
+        profile.record("__mulsi3", 68, 2)
+        record = profile.records["__mulsi3"]
+        assert record.instructions == 3 * 68
+        assert record.cycles_single_tasklet() == 3 * 68 * 11
+
+    def test_float_subroutine_names(self):
+        profile = SubroutineProfile()
+        profile.record("__addsf3", 77)
+        profile.record("__mulsi3", 68)
+        profile.record("__ltsf2", 18)
+        assert profile.float_subroutine_names() == ["__addsf3", "__ltsf2"]
+
+    def test_distinct_count(self):
+        profile = SubroutineProfile()
+        profile.record("__addsf3", 77, 5)
+        profile.record("__divsf3", 1092, 1)
+        assert profile.distinct_subroutines() == 2
+
+    def test_as_rows_sorted_by_occurrence(self):
+        profile = SubroutineProfile()
+        profile.record("__a", 1, 2)
+        profile.record("__b", 1, 9)
+        profile.record("__c", 1, 2)
+        assert profile.as_rows() == [("__b", 9), ("__a", 2), ("__c", 2)]
+
+    def test_merge(self):
+        a = SubroutineProfile()
+        a.record("__addsf3", 77, 2)
+        b = SubroutineProfile()
+        b.record("__addsf3", 77, 3)
+        b.record("__mulsf3", 225, 1)
+        merged = a.merged_with(b)
+        assert merged.occurrences("__addsf3") == 5
+        assert merged.occurrences("__mulsf3") == 1
+        # originals untouched
+        assert a.occurrences("__addsf3") == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DpuError):
+            SubroutineProfile().record("__x", 1, -1)
+
+    def test_clear(self):
+        profile = SubroutineProfile()
+        profile.record("__addsf3", 77)
+        profile.clear()
+        assert profile.total_occurrences() == 0

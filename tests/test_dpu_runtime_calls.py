@@ -1,0 +1,96 @@
+"""Tests for repro.dpu.runtime_calls (the compiler-rt registry)."""
+
+import pytest
+
+from repro.dpu import runtime_calls, softfloat as sf
+from repro.dpu.costs import OptLevel
+from repro.errors import DpuError
+
+
+class TestRegistry:
+    def test_all_expected_names_present(self):
+        expected = {
+            "__addsf3", "__subsf3", "__mulsf3", "__divsf3",
+            "__ltsf2", "__lesf2", "__gtsf2", "__gesf2", "__eqsf2",
+            "__floatsisf", "__fixsfsi",
+            "__mulsi3", "__mulhi3", "__muldi3",
+            "__divsi3", "__udivsi3", "__modsi3",
+        }
+        assert expected <= set(runtime_calls.names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DpuError, match="unknown runtime call"):
+            runtime_calls.get("__bogus3")
+
+    def test_fig_3_2_subroutines_all_registered(self):
+        for name in runtime_calls.FIG_3_2_SUBROUTINES:
+            assert runtime_calls.get(name).name == name
+
+    def test_every_entry_has_positive_costs(self):
+        for name in runtime_calls.names():
+            entry = runtime_calls.get(name)
+            assert entry.instructions_o0 >= 1
+            assert entry.instructions_o3 >= 1
+
+    def test_o3_never_costlier_than_o0(self):
+        for name in runtime_calls.names():
+            entry = runtime_calls.get(name)
+            assert entry.instructions(OptLevel.O3) <= entry.instructions(OptLevel.O0)
+
+
+class TestFunctionalDispatch:
+    def test_addsf3(self):
+        entry = runtime_calls.get("__addsf3")
+        one, two = sf.float_to_bits(1.0), sf.float_to_bits(2.0)
+        assert entry.fn(one, two) == sf.float_to_bits(3.0)
+
+    def test_mulsi3(self):
+        assert runtime_calls.get("__mulsi3").fn(6, 7) == 42
+
+    def test_mulhi3_masks_to_16_bits(self):
+        assert runtime_calls.get("__mulhi3").fn(300, 300) == (300 * 300) & 0xFFFF
+
+    def test_comparison_returns_truth_value(self):
+        lt = runtime_calls.get("__ltsf2")
+        one, two = sf.float_to_bits(1.0), sf.float_to_bits(2.0)
+        assert lt.fn(one, two) == 1
+        assert lt.fn(two, one) == 0
+
+    def test_floatsisf_handles_negative_pattern(self):
+        entry = runtime_calls.get("__floatsisf")
+        assert entry.fn(0xFFFFFFFF) == sf.float_to_bits(-1.0)
+
+    def test_fixsfsi_truncates(self):
+        entry = runtime_calls.get("__fixsfsi")
+        assert entry.fn(sf.float_to_bits(-2.9)) == 0xFFFFFFFE  # -2 as u32
+
+    def test_divsi3_signed(self):
+        entry = runtime_calls.get("__divsi3")
+        minus_seven = (-7) & 0xFFFFFFFF
+        assert entry.fn(minus_seven, 2) == (-3) & 0xFFFFFFFF
+
+
+class TestCostsTieToCalibration:
+    def test_mulsi3_cost_matches_table_3_1(self):
+        """__mulsi3 at O0 carries the 32-bit multiply statement cost."""
+        from repro.dpu import costs
+        from repro.dpu.costs import Operation, Precision
+
+        entry = runtime_calls.get("__mulsi3")
+        assert entry.instructions_o0 == costs.INSTRUCTIONS_O0[
+            (Operation.MUL, Precision.FIXED_32)
+        ]
+
+    def test_float_family_costs_ordered(self):
+        """div > mul > sub > add, at both optimization levels."""
+        for level in (OptLevel.O0, OptLevel.O3):
+            get = lambda n: runtime_calls.get(n).instructions(level)
+            assert get("__divsf3") > get("__mulsf3")
+            assert get("__mulsf3") > get("__subsf3")
+            assert get("__subsf3") > get("__addsf3")
+
+    def test_muldi3_twice_mulsi3(self):
+        assert (
+            runtime_calls.get("__muldi3").instructions_o0
+            == 2 * runtime_calls.get("__mulsi3").instructions_o0
+        )

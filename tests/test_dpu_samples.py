@@ -1,0 +1,110 @@
+"""Tests for repro.dpu.samples (reference assembly kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.dpu import samples
+from repro.dpu.memory import Wram
+from repro.dpu.interpreter import run_program
+from repro.errors import DpuError
+
+
+def rand_ints(n, lo=0, hi=200, seed=0):
+    return np.random.default_rng(seed).integers(lo, hi, n).astype(np.int32)
+
+
+class TestCopy:
+    def test_copies_every_element(self):
+        values = rand_ints(100)
+        program = samples.copy_program(100)
+        out, _ = program.run(values)
+        assert np.array_equal(out, values)
+
+    @pytest.mark.parametrize("tasklets", [1, 3, 11, 16])
+    def test_any_tasklet_count(self, tasklets):
+        values = rand_ints(37, seed=tasklets)
+        out, _ = samples.copy_program(37, n_tasklets=tasklets).run(values)
+        assert np.array_equal(out, values)
+
+    def test_throughput_improves_with_tasklets(self):
+        values = rand_ints(220)
+        _, single = samples.copy_program(220, n_tasklets=1).run(values)
+        _, many = samples.copy_program(220, n_tasklets=11).run(values)
+        assert single.cycles / many.cycles > 5
+
+
+class TestElementwise:
+    def test_scale(self):
+        values = rand_ints(50, hi=100)
+        out, _ = samples.scale_program(50, 3).run(values)
+        assert np.array_equal(out, values * 3)
+
+    def test_scale_factor_range(self):
+        with pytest.raises(DpuError):
+            samples.scale_program(8, 256)
+
+    def test_add_offset(self):
+        values = rand_ints(50)
+        out, _ = samples.add_offset_program(50, 17).run(values)
+        assert np.array_equal(out, values + 17)
+
+    def test_relu(self):
+        values = rand_ints(64, lo=-100, hi=100, seed=3)
+        out, _ = samples.relu_program(64).run(values)
+        assert np.array_equal(out, np.maximum(values, 0))
+
+    def test_saxpy(self):
+        n = 33
+        x = rand_ints(n, hi=50, seed=4)
+        y = rand_ints(n, hi=50, seed=5)
+        program = samples.saxpy_program(n, 7)
+        wram = Wram()
+        wram.write_array(0, x)
+        wram.write_array(samples.OUTPUT_BASE, y)
+        _, wram = run_program(program.program, wram=wram, n_tasklets=11)
+        out = wram.read_array(samples.OUTPUT_BASE, np.int32, n)
+        assert np.array_equal(out, 7 * x + y)
+
+
+class TestReductions:
+    def test_sum_reduction(self):
+        values = rand_ints(150, seed=6)
+        program = samples.reduction_program(150)
+        wram = Wram()
+        wram.write_array(0, values)
+        _, wram = run_program(program.program, wram=wram, n_tasklets=11)
+        assert wram.read_u32(samples.OUTPUT_BASE) == int(values.sum())
+
+    def test_reduction_single_tasklet(self):
+        values = rand_ints(20, seed=7)
+        program = samples.reduction_program(20, n_tasklets=1)
+        wram = Wram()
+        wram.write_array(0, values)
+        _, wram = run_program(program.program, wram=wram, n_tasklets=1)
+        assert wram.read_u32(samples.OUTPUT_BASE) == int(values.sum())
+
+    def test_dot_product(self):
+        n = 60
+        a = rand_ints(n, hi=128, seed=8)
+        b = rand_ints(n, hi=128, seed=9)
+        program = samples.dot_product_program(n)
+        wram = Wram()
+        wram.write_array(0, a)
+        wram.write_array(4 * n, b)
+        _, wram = run_program(program.program, wram=wram, n_tasklets=11)
+        assert wram.read_u32(samples.OUTPUT_BASE) == int(
+            (a.astype(np.int64) * b).sum()
+        )
+
+
+class TestValidation:
+    def test_element_count_bounds(self):
+        with pytest.raises(DpuError):
+            samples.copy_program(0)
+        with pytest.raises(DpuError):
+            samples.copy_program(10**6)
+
+    def test_input_size_checked(self):
+        program = samples.copy_program(10)
+        with pytest.raises(DpuError):
+            program.run(np.zeros(5, dtype=np.int32))

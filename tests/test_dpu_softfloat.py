@@ -1,0 +1,208 @@
+"""Tests for repro.dpu.softfloat — bit-exactness against numpy binary32."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dpu import softfloat as sf
+
+
+def np_bits(value) -> int:
+    return struct.unpack("<I", np.float32(value).tobytes())[0]
+
+
+def as_f32(bits: int) -> np.float32:
+    return np.frombuffer(struct.pack("<I", bits), dtype=np.float32)[0]
+
+
+def np_ref(op, a_bits: int, b_bits: int) -> int:
+    with np.errstate(all="ignore"):
+        return np_bits(op(as_f32(a_bits), as_f32(b_bits)))
+
+
+SPECIALS = [
+    sf.PLUS_ZERO, sf.MINUS_ZERO, sf.PLUS_INF, sf.MINUS_INF, sf.QNAN,
+    sf.MIN_SUBNORMAL, sf.MIN_NORMAL, sf.MAX_FINITE,
+    np_bits(1.0), np_bits(-1.0), np_bits(0.5), np_bits(3.14159),
+]
+
+bits32 = st.one_of(st.sampled_from(SPECIALS), st.integers(0, 2**32 - 1))
+
+
+def assert_matches(mine: int, reference: int):
+    if sf.is_nan(mine) and sf.is_nan(reference):
+        return
+    assert mine == reference, f"{mine:#010x} != {reference:#010x}"
+
+
+class TestArithmeticAgainstNumpy:
+    @given(bits32, bits32)
+    @settings(max_examples=2000)
+    def test_add(self, a, b):
+        assert_matches(sf.f32_add(a, b), np_ref(np.add, a, b))
+
+    @given(bits32, bits32)
+    @settings(max_examples=2000)
+    def test_sub(self, a, b):
+        assert_matches(sf.f32_sub(a, b), np_ref(np.subtract, a, b))
+
+    @given(bits32, bits32)
+    @settings(max_examples=2000)
+    def test_mul(self, a, b):
+        assert_matches(sf.f32_mul(a, b), np_ref(np.multiply, a, b))
+
+    @given(bits32, bits32)
+    @settings(max_examples=2000)
+    def test_div(self, a, b):
+        assert_matches(sf.f32_div(a, b), np_ref(np.divide, a, b))
+
+
+class TestAlgebraicProperties:
+    @given(bits32, bits32)
+    @settings(max_examples=500)
+    def test_add_commutes(self, a, b):
+        assert_matches(sf.f32_add(a, b), sf.f32_add(b, a))
+
+    @given(bits32, bits32)
+    @settings(max_examples=500)
+    def test_mul_commutes(self, a, b):
+        assert_matches(sf.f32_mul(a, b), sf.f32_mul(b, a))
+
+    @given(bits32)
+    @settings(max_examples=500)
+    def test_sub_is_add_of_negation(self, a):
+        b = np_bits(2.5)
+        assert_matches(sf.f32_sub(a, b), sf.f32_add(a, sf.f32_neg(b)))
+
+    @given(bits32)
+    @settings(max_examples=200)
+    def test_double_negation(self, a):
+        assert sf.f32_neg(sf.f32_neg(a)) == a & 0xFFFFFFFF
+
+
+class TestSpecialCases:
+    def test_inf_plus_minus_inf_is_nan(self):
+        assert sf.is_nan(sf.f32_add(sf.PLUS_INF, sf.MINUS_INF))
+
+    def test_inf_times_zero_is_nan(self):
+        assert sf.is_nan(sf.f32_mul(sf.PLUS_INF, sf.PLUS_ZERO))
+
+    def test_zero_div_zero_is_nan(self):
+        assert sf.is_nan(sf.f32_div(sf.PLUS_ZERO, sf.PLUS_ZERO))
+
+    def test_inf_div_inf_is_nan(self):
+        assert sf.is_nan(sf.f32_div(sf.PLUS_INF, sf.MINUS_INF))
+
+    def test_finite_div_zero_is_signed_inf(self):
+        assert sf.f32_div(np_bits(1.0), sf.PLUS_ZERO) == sf.PLUS_INF
+        assert sf.f32_div(np_bits(-1.0), sf.PLUS_ZERO) == sf.MINUS_INF
+
+    def test_nan_propagates(self):
+        for op in (sf.f32_add, sf.f32_sub, sf.f32_mul, sf.f32_div):
+            assert sf.is_nan(op(sf.QNAN, np_bits(1.0)))
+            assert sf.is_nan(op(np_bits(1.0), sf.QNAN))
+
+    def test_signed_zero_addition(self):
+        assert sf.f32_add(sf.PLUS_ZERO, sf.MINUS_ZERO) == sf.PLUS_ZERO
+        assert sf.f32_add(sf.MINUS_ZERO, sf.MINUS_ZERO) == sf.MINUS_ZERO
+
+    def test_exact_cancellation_is_plus_zero(self):
+        one = np_bits(1.0)
+        assert sf.f32_sub(one, one) == sf.PLUS_ZERO
+
+    def test_overflow_to_infinity(self):
+        assert sf.f32_mul(sf.MAX_FINITE, np_bits(2.0)) == sf.PLUS_INF
+
+    def test_underflow_to_subnormal(self):
+        result = sf.f32_mul(sf.MIN_NORMAL, np_bits(0.5))
+        assert sf.is_subnormal(result)
+
+    def test_subnormal_arithmetic(self):
+        assert sf.f32_add(sf.MIN_SUBNORMAL, sf.MIN_SUBNORMAL) == 2
+
+
+class TestComparisons:
+    @given(bits32, bits32)
+    @settings(max_examples=1000)
+    def test_lt_matches_numpy(self, a, b):
+        with np.errstate(invalid="ignore"):
+            assert sf.f32_lt(a, b) == bool(as_f32(a) < as_f32(b))
+
+    @given(bits32, bits32)
+    @settings(max_examples=1000)
+    def test_le_matches_numpy(self, a, b):
+        with np.errstate(invalid="ignore"):
+            assert sf.f32_le(a, b) == bool(as_f32(a) <= as_f32(b))
+
+    @given(bits32, bits32)
+    @settings(max_examples=500)
+    def test_eq_matches_numpy(self, a, b):
+        with np.errstate(invalid="ignore"):
+            assert sf.f32_eq(a, b) == bool(as_f32(a) == as_f32(b))
+
+    def test_zeros_compare_equal(self):
+        assert sf.f32_eq(sf.PLUS_ZERO, sf.MINUS_ZERO)
+        assert not sf.f32_lt(sf.MINUS_ZERO, sf.PLUS_ZERO)
+
+    def test_nan_never_compares(self):
+        one = np_bits(1.0)
+        assert not sf.f32_lt(sf.QNAN, one)
+        assert not sf.f32_le(one, sf.QNAN)
+        assert not sf.f32_eq(sf.QNAN, sf.QNAN)
+        assert not sf.f32_gt(sf.QNAN, one)
+        assert not sf.f32_ge(sf.QNAN, one)
+
+
+class TestConversions:
+    @given(st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=1000)
+    def test_i32_to_f32_matches_numpy(self, value):
+        assert sf.i32_to_f32(value) == np_bits(value)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=500)
+    def test_u32_to_f32_matches_numpy(self, value):
+        assert sf.u32_to_f32(value) == np_bits(np.float64(value))
+
+    @given(bits32)
+    @settings(max_examples=1000)
+    def test_f32_to_i32_truncates(self, bits):
+        x = as_f32(bits)
+        if np.isfinite(x) and -(2**31) <= x < 2**31:
+            assert sf.f32_to_i32(bits) == int(np.trunc(x))
+
+    def test_f32_to_i32_saturates(self):
+        assert sf.f32_to_i32(np_bits(1e20)) == 2**31 - 1
+        assert sf.f32_to_i32(np_bits(-1e20)) == -(2**31)
+        assert sf.f32_to_i32(sf.PLUS_INF) == 2**31 - 1
+        assert sf.f32_to_i32(sf.MINUS_INF) == -(2**31)
+
+    def test_nan_converts_to_zero(self):
+        assert sf.f32_to_i32(sf.QNAN) == 0
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            sf.i32_to_f32(2**31)
+        with pytest.raises(ValueError):
+            sf.u32_to_f32(-1)
+
+    def test_float_bits_round_trip(self):
+        for value in (0.0, 1.5, -2.25, 1e30, -1e-30):
+            assert sf.bits_to_float(sf.float_to_bits(value)) == np.float32(value)
+
+
+class TestClassification:
+    def test_classifiers(self):
+        assert sf.is_nan(sf.QNAN)
+        assert sf.is_inf(sf.PLUS_INF) and sf.is_inf(sf.MINUS_INF)
+        assert sf.is_zero(sf.PLUS_ZERO) and sf.is_zero(sf.MINUS_ZERO)
+        assert sf.is_subnormal(sf.MIN_SUBNORMAL)
+        assert not sf.is_subnormal(sf.MIN_NORMAL)
+        assert sf.is_finite(sf.MAX_FINITE)
+        assert not sf.is_finite(sf.PLUS_INF)
+
+    def test_abs_clears_sign(self):
+        assert sf.f32_abs(np_bits(-3.0)) == np_bits(3.0)
+        assert sf.f32_abs(sf.MINUS_ZERO) == sf.PLUS_ZERO

@@ -1,0 +1,131 @@
+"""Tests for repro.dpu.softint (compiler-rt integer subroutines)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dpu import softint
+from repro.errors import DpuError
+
+u32 = st.integers(0, 2**32 - 1)
+i32 = st.integers(-(2**31), 2**31 - 1)
+u64 = st.integers(0, 2**64 - 1)
+
+
+class TestSignConversions:
+    @given(u32)
+    @settings(max_examples=200)
+    def test_round_trip(self, value):
+        assert softint.to_unsigned(softint.to_signed(value, 32), 32) == value
+
+    def test_known_values(self):
+        assert softint.to_signed(0xFFFFFFFF, 32) == -1
+        assert softint.to_signed(0x80000000, 32) == -(2**31)
+        assert softint.to_signed(0x7FFFFFFF, 32) == 2**31 - 1
+        assert softint.to_unsigned(-1, 16) == 0xFFFF
+
+    @given(st.integers(-(2**15), 2**15 - 1))
+    @settings(max_examples=100)
+    def test_16_bit_round_trip(self, value):
+        assert softint.to_signed(softint.to_unsigned(value, 16), 16) == value
+
+
+class TestMultiplication:
+    @given(u32, u32)
+    @settings(max_examples=500)
+    def test_mulsi3_matches_wrapping_multiply(self, a, b):
+        assert softint.mulsi3(a, b) == (a * b) & 0xFFFFFFFF
+
+    @given(u64, u64)
+    @settings(max_examples=200)
+    def test_muldi3_matches_wrapping_multiply(self, a, b):
+        assert softint.muldi3(a, b) == (a * b) & 0xFFFFFFFFFFFFFFFF
+
+    @given(u32, u32)
+    @settings(max_examples=300)
+    def test_shift_add_agrees_with_direct(self, a, b):
+        product, steps = softint.mulsi3_shift_add(a, b)
+        assert product == softint.mulsi3(a, b)
+        assert steps == (b.bit_length() if b else 0)
+
+    @given(u32, u32)
+    @settings(max_examples=300)
+    def test_mul8_composition_agrees(self, a, b):
+        product, partials = softint.mulsi3_via_mul8(a, b)
+        assert product == softint.mulsi3(a, b)
+        assert partials == 10  # byte pairs with combined offset < 4
+
+    def test_mul8_hw(self):
+        assert softint.mul8_hw(255, 255) == 65025
+        assert softint.mul8_hw(0x1FF, 2) == 510  # masks to 8 bits
+
+
+class TestDivision:
+    @given(i32, i32.filter(lambda b: b != 0))
+    @settings(max_examples=500)
+    def test_divsi3_truncates_toward_zero(self, a, b):
+        result = softint.to_signed(
+            softint.divsi3(softint.to_unsigned(a, 32), softint.to_unsigned(b, 32)),
+            32,
+        )
+        expected = int(a / b)  # C semantics: truncation
+        # -2**31 / -1 overflows; compiler-rt wraps
+        if a == -(2**31) and b == -1:
+            expected = softint.to_signed(softint.to_unsigned(expected, 32), 32)
+        assert result == expected
+
+    @given(i32, i32.filter(lambda b: b != 0))
+    @settings(max_examples=500)
+    def test_mod_identity(self, a, b):
+        """(a/b)*b + a%b == a (C99 semantics)."""
+        if a == -(2**31) and b == -1:
+            return
+        q = softint.to_signed(
+            softint.divsi3(softint.to_unsigned(a, 32), softint.to_unsigned(b, 32)),
+            32,
+        )
+        r = softint.to_signed(
+            softint.modsi3(softint.to_unsigned(a, 32), softint.to_unsigned(b, 32)),
+            32,
+        )
+        assert q * b + r == a
+
+    @given(u32, u32.filter(lambda b: b != 0))
+    @settings(max_examples=300)
+    def test_udivsi3(self, a, b):
+        assert softint.udivsi3(a, b) == a // b
+
+    @given(u32, u32.filter(lambda b: b != 0))
+    @settings(max_examples=300)
+    def test_restoring_division(self, a, b):
+        q, r, steps = softint.udivsi3_restoring(a, b)
+        assert q == a // b
+        assert r == a % b
+        assert steps == 32  # always full-width: the Table 3.1 flat cost
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(DpuError):
+            softint.divsi3(1, 0)
+        with pytest.raises(DpuError):
+            softint.modsi3(1, 0)
+        with pytest.raises(DpuError):
+            softint.udivsi3(1, 0)
+        with pytest.raises(DpuError):
+            softint.udivsi3_restoring(1, 0)
+
+
+class TestSaturate:
+    def test_in_range_passthrough(self):
+        assert softint.saturate(100, 16) == 100
+        assert softint.saturate(-100, 16) == -100
+
+    def test_clamps_high(self):
+        assert softint.saturate(40000, 16) == 32767
+
+    def test_clamps_low(self):
+        assert softint.saturate(-40000, 16) == -32768
+
+    @given(st.integers(-(2**40), 2**40))
+    @settings(max_examples=200)
+    def test_result_always_in_range(self, value):
+        result = softint.saturate(value, 16)
+        assert -(2**15) <= result <= 2**15 - 1

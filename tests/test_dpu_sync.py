@@ -1,0 +1,161 @@
+"""Tests for the tasklet synchronization primitives (mutex, barrier)."""
+
+import numpy as np
+import pytest
+
+from repro.dpu.assembler import assemble
+from repro.dpu.interpreter import run_program
+from repro.errors import AssemblerError, DpuFaultError, DpuLimitError
+
+
+def run(source, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+class TestMutex:
+    def test_critical_section_increments_exactly(self):
+        """N tasklets x K increments under a mutex: counter == N*K."""
+        source = """
+                li   r5, 50          # iterations per tasklet
+                li   r9, 0           # counter address
+            loop:
+                acquire 0
+                lw   r1, r9, 0
+                addi r1, r1, 1
+                sw   r1, r9, 0
+                release 0
+                addi r5, r5, -1
+                bne  r5, r0, loop
+                halt
+        """
+        result, wram = run(source, n_tasklets=8)
+        assert wram.read_u32(0) == 8 * 50
+
+    def test_spin_consumes_time(self):
+        """Contended mutexes serialize the critical sections."""
+        source = """
+                acquire 1
+                nop
+                nop
+                nop
+                nop
+                release 1
+                halt
+        """
+        single, _ = run(source, n_tasklets=1)
+        contended, _ = run(source, n_tasklets=8)
+        # with 8 tasklets the sections serialize: wall time grows
+        assert contended.cycles > single.cycles * 2
+
+    def test_double_acquire_faults(self):
+        with pytest.raises(DpuFaultError, match="re-acquired"):
+            run("acquire 0\nacquire 0\nhalt")
+
+    def test_release_without_hold_faults(self):
+        with pytest.raises(DpuFaultError, match="does not hold"):
+            run("release 3\nhalt")
+
+    def test_distinct_mutexes_do_not_contend(self):
+        """Tasklets taking different mutexes proceed in parallel."""
+        source = """
+                tid  r1
+                andi r1, r1, 7
+                beq  r1, r0, even
+                acquire 1
+                nop
+                release 1
+                halt
+            even:
+                acquire 2
+                nop
+                release 2
+                halt
+        """
+        result, _ = run(source, n_tasklets=2)
+        assert result.cycles < 200
+
+    def test_mutex_id_range_checked_at_assembly(self):
+        with pytest.raises(AssemblerError, match="mutex id"):
+            assemble("acquire 64")
+
+
+class TestBarrier:
+    def test_all_tasklets_wait_for_slowest(self):
+        """Work after the barrier starts only after everyone arrives."""
+        source = """
+                tid  r1
+                bne  r1, r0, fast
+                li   r5, 100         # tasklet 0 is slow
+            slow:
+                addi r5, r5, -1
+                bne  r5, r0, slow
+            fast:
+                barrier
+                tid  r1
+                lsli r2, r1, 2
+                li   r3, 1
+                sw   r3, r2, 0       # flag arrival past the barrier
+                halt
+        """
+        result, wram = run(source, n_tasklets=4)
+        flags = wram.read_array(0, np.uint32, 4)
+        assert flags.tolist() == [1, 1, 1, 1]
+        # the barrier cost at least the slow tasklet's loop
+        assert result.cycles > 100 * 2 * 11
+
+    def test_single_tasklet_barrier_is_transparent(self):
+        result, _ = run("barrier\nhalt", n_tasklets=1)
+        assert result.instructions_retired == 2
+
+    def test_two_phase_reduction(self):
+        """Barrier separates produce and combine phases correctly."""
+        source = """
+                tid  r1
+                addi r2, r1, 10      # value = tid + 10
+                lsli r3, r1, 2
+                sw   r2, r3, 0       # partial[tid] = value
+                barrier
+                tid  r1
+                bne  r1, r0, done    # tasklet 0 combines
+                li   r5, 0           # sum
+                li   r6, 0           # index
+                li   r7, 16          # bytes = 4 tasklets x 4
+            combine:
+                lw   r8, r6, 0
+                add  r5, r5, r8
+                addi r6, r6, 4
+                blt  r6, r7, combine
+                li   r9, 64
+                sw   r5, r9, 0
+            done:
+                halt
+        """
+        _, wram = run(source, n_tasklets=4)
+        assert wram.read_u32(64) == sum(tid + 10 for tid in range(4))
+
+    def test_halted_tasklet_does_not_deadlock_barrier(self):
+        """Tasklets that halt before the barrier are not waited on."""
+        source = """
+                tid  r1
+                beq  r1, r0, quit
+                barrier
+                halt
+            quit:
+                halt
+        """
+        result, _ = run(source, n_tasklets=3)
+        assert result.instructions_retired >= 5
+
+    def test_consecutive_barriers(self):
+        source = """
+                barrier
+                barrier
+                barrier
+                tid r1
+                lsli r2, r1, 2
+                li  r3, 7
+                sw  r3, r2, 0
+                halt
+        """
+        _, wram = run(source, n_tasklets=4)
+        assert wram.read_array(0, np.uint32, 4).tolist() == [7, 7, 7, 7]

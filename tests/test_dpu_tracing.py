@@ -1,0 +1,93 @@
+"""Tests for repro.dpu.tracing (execution traces)."""
+
+import pytest
+
+from repro.dpu.assembler import assemble
+from repro.dpu.interpreter import run_program
+from repro.dpu.tracing import TracingInterpreter, trace_program
+from repro.errors import DpuError
+
+LOOP = """
+        li   r1, 5
+    loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+"""
+
+
+class TestTraceRecording:
+    def test_event_per_dispatch(self):
+        trace = trace_program(assemble("nop\nnop\nhalt"))
+        assert len(trace) == 3
+        assert [e.pc for e in trace.events] == [0, 1, 2]
+
+    def test_loop_iterations_visible(self):
+        trace = trace_program(assemble(LOOP))
+        # addi at pc 1 dispatches 5 times
+        assert trace.dispatch_count(1) == 5
+        assert trace.dispatch_count(2) == 5  # the bne
+
+    def test_cycles_monotone_per_tasklet(self):
+        trace = trace_program(assemble(LOOP), n_tasklets=3)
+        for tasklet in range(3):
+            cycles = [e.cycle for e in trace.for_tasklet(tasklet)]
+            assert cycles == sorted(cycles)
+
+    def test_tasklets_interleave(self):
+        trace = trace_program(assemble("nop\nnop\nhalt"), n_tasklets=4)
+        assert {e.tasklet for e in trace.events} == {0, 1, 2, 3}
+
+    def test_mutex_spins_show_in_the_trace(self):
+        source = """
+                acquire 0
+                nop
+                nop
+                nop
+                release 0
+                halt
+        """
+        trace = trace_program(assemble(source), n_tasklets=3)
+        # the second/third tasklets retry the acquire at pc 0
+        assert trace.dispatch_count(0) > 3
+
+    def test_result_attached(self):
+        trace = trace_program(assemble(LOOP))
+        assert trace.result is not None
+        assert trace.result.instructions_retired == len(trace)
+
+
+class TestTraceFidelity:
+    def test_tracing_does_not_change_timing(self):
+        program = assemble(LOOP)
+        plain, _ = run_program(program, n_tasklets=4)
+        trace = trace_program(program, n_tasklets=4)
+        assert trace.result.cycles == plain.cycles
+        assert trace.result.instructions_retired == plain.instructions_retired
+
+    def test_trace_limit_caps_memory(self):
+        trace = trace_program(assemble("nop\n" * 100 + "halt"), trace_limit=10)
+        assert len(trace) == 10
+        assert trace.result.instructions_retired == 101
+
+    def test_bad_limit(self):
+        from repro.dpu.memory import DmaEngine, Mram, Wram
+
+        with pytest.raises(DpuError):
+            TracingInterpreter(
+                assemble("halt"), Wram(), DmaEngine(Mram(), Wram()),
+                trace_limit=0,
+            )
+
+
+class TestRendering:
+    def test_render_listing(self):
+        trace = trace_program(assemble(LOOP))
+        listing = trace.render()
+        assert "cycle" in listing
+        assert "addi r1, r1, -1" in listing
+
+    def test_render_truncates(self):
+        trace = trace_program(assemble("nop\n" * 80 + "halt"))
+        listing = trace.render(limit=5)
+        assert "76 more events" in listing

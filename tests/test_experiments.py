@@ -1,0 +1,149 @@
+"""Tests for repro.experiments — every paper artifact regenerates."""
+
+import pytest
+
+from repro import experiments
+from repro.experiments.base import ExperimentResult
+from repro.errors import ExperimentError
+
+EXPECTED_EXPERIMENTS = {
+    "table_2_1", "eq_3_4", "table_3_1", "fig_3_2",
+    "fig_4_3", "fig_4_4", "fig_4_7a", "fig_4_7b", "fig_4_7c",
+    "single_latency", "multi_dpu_throughput",
+    "table_5_1", "table_5_2", "fig_5_4", "fig_5_5", "fig_5_6",
+    "table_5_3", "table_5_4", "table_5_4_simulated",
+    "ablation_frequency", "ablation_wram", "ablation_network_size",
+    "ablation_overlap", "future_multi_image_yolo", "energy_comparison",
+    "alexnet_mapping", "cnn_size_study",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert EXPECTED_EXPERIMENTS <= set(experiments.available())
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            experiments.run("fig_9_9")
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPECTED_EXPERIMENTS))
+    def test_runs_and_renders(self, experiment_id):
+        result = experiments.run(experiment_id)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows, f"{experiment_id} produced no rows"
+        rendered = result.render()
+        assert experiment_id in rendered
+        for column in result.columns:
+            assert column in rendered
+
+
+class TestResultObject:
+    def test_add_row_validates_width(self):
+        result = ExperimentResult("x", "t", ["a", "b"])
+        result.add_row(1, 2)
+        with pytest.raises(ExperimentError):
+            result.add_row(1)
+
+    def test_column_extraction(self):
+        result = ExperimentResult("x", "t", ["a", "b"])
+        result.add_row(1, "p")
+        result.add_row(2, "q")
+        assert result.column("a") == [1, 2]
+        assert result.column("b") == ["p", "q"]
+        with pytest.raises(ExperimentError):
+            result.column("c")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.base import register
+
+        with pytest.raises(ExperimentError):
+            register("table_2_1")(lambda: None)
+
+
+class TestHeadlineNumbers:
+    def test_table_3_1_deltas_small(self):
+        result = experiments.run("table_3_1")
+        assert max(abs(d) for d in result.column("delta")) <= 5
+
+    def test_fig_4_4_speedup_in_band(self):
+        result = experiments.run("fig_4_4")
+        cycles = result.column("dpu_cycles")
+        speedup = cycles[0] / cycles[1]
+        assert 1.2 <= speedup <= 2.0
+
+    def test_fig_4_7a_shapes(self):
+        result = experiments.run("fig_4_7a")
+        tasklets = result.column("tasklets")
+        ebnn = dict(zip(tasklets, result.column("ebnn_speedup")))
+        yolo = dict(zip(tasklets, result.column("yolo_speedup")))
+        # YOLOv3 saturates at 11
+        assert yolo[11] == pytest.approx(yolo[24], rel=0.01)
+        assert yolo[11] > yolo[8]
+        # eBNN peaks at 16
+        assert ebnn[16] == max(ebnn.values())
+        assert ebnn[16] > ebnn[11]
+
+    def test_fig_4_7b_best_is_o3_threaded(self):
+        result = experiments.run("fig_4_7b")
+        rows = {
+            (opt, t): latency
+            for opt, t, latency, _ in result.rows
+        }
+        assert rows[("O3", 11)] == min(rows.values())
+        assert rows[("O0", 1)] == max(rows.values())
+
+    def test_fig_4_7c_linear(self):
+        result = experiments.run("fig_4_7c")
+        counts = result.column("n_dpus")
+        speedups = result.column("speedup")
+        ratio = speedups[-1] / speedups[0]
+        assert ratio == pytest.approx(counts[-1] / counts[0], rel=1e-6)
+
+    def test_table_5_4_against_paper(self):
+        result = experiments.run("table_5_4")
+        ours = dict(zip(result.column("architecture"),
+                        result.column("ebnn_latency_s")))
+        paper = dict(zip(result.column("architecture"),
+                         result.column("paper_ebnn_latency_s")))
+        for name in ours:
+            assert ours[name] == pytest.approx(paper[name], rel=0.01)
+
+    def test_eq_3_4_worked_example(self):
+        result = experiments.run("eq_3_4")
+        by_size = dict(zip(result.column("transfer_bytes"), result.column("cycles")))
+        assert by_size[2048] == 1049
+
+    def test_table_5_4_simulated_preserves_conclusions(self):
+        """Swapping in our simulated UPMEM keeps the qualitative story."""
+        result = experiments.run("table_5_4_simulated")
+        rows = {r[0]: r for r in result.rows}
+        upmem = rows["UPMEM"]
+        # our simulated latencies are within ~2.5x of the thesis's
+        assert 0.4 * 1.48e-3 <= upmem[1] <= 2.5 * 1.48e-3
+        assert 0.3 * 65 <= upmem[3] <= 2.0 * 65
+        # UPMEM still trails every analytical PIM in eBNN latency
+        for name, row in rows.items():
+            if name != "UPMEM":
+                assert row[1] < upmem[1]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table_5_4" in out
+
+    def test_run_one(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "table_2_1"]) == 0
+        out = capsys.readouterr().out
+        assert "2560" in out
+
+    def test_attributes(self, capsys):
+        from repro.cli import main
+
+        assert main(["attributes"]) == 0
+        assert "350 MHz" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Tests for the reproduction report generator and related surfaces."""
+
+import pytest
+
+from repro.experiments.base import REGISTRY
+from repro.experiments.report import (
+    generate_report,
+    ordered_experiments,
+    write_report,
+)
+
+
+class TestOrdering:
+    def test_every_registered_experiment_appears_once(self):
+        ordered = ordered_experiments()
+        assert sorted(ordered) == sorted(REGISTRY)
+        assert len(ordered) == len(set(ordered))
+
+    def test_paper_artifacts_lead(self):
+        ordered = ordered_experiments()
+        assert ordered[0] == "table_2_1"
+        assert ordered.index("table_3_1") < ordered.index("fig_4_4")
+        assert ordered.index("table_5_4") < ordered.index("ablation_wram")
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        return generate_report()
+
+    def test_contains_every_experiment(self, report_text):
+        for experiment_id in REGISTRY:
+            assert f"== {experiment_id}:" in report_text
+
+    def test_sections_present(self, report_text):
+        assert "## Chapter 2/3" in report_text
+        assert "## Chapter 4" in report_text
+        assert "## Chapter 5" in report_text
+        assert "## Extensions and ablations" in report_text
+
+    def test_headline_numbers_present(self, report_text):
+        assert "2560 (20 DIMM)" in report_text   # Table 2.1
+        assert "12064" in report_text            # fp division cycles
+        assert "1016" in report_text             # pPIM 32-bit multiply
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        count = write_report(str(path))
+        assert count == len(REGISTRY)
+        assert "# Reproduction report" in path.read_text()
+
+
+class TestAlexnetGemmShapes:
+    def test_shapes_cover_all_layers(self):
+        from repro.nn.models.alexnet import ALEXNET_LAYERS, gemm_shapes
+
+        shapes = gemm_shapes()
+        assert len(shapes) == len(ALEXNET_LAYERS)
+
+    def test_conv1_geometry(self):
+        from repro.nn.models.alexnet import gemm_shapes
+
+        conv1 = gemm_shapes()[0]
+        assert conv1.m == 96
+        assert conv1.k == 3 * 11 * 11
+        assert conv1.n == 55 * 55
+
+    def test_fc_layers_are_matrix_vector(self):
+        from repro.nn.models.alexnet import gemm_shapes
+
+        for shape in gemm_shapes()[5:]:
+            assert shape.n == 1
+
+    def test_gemm_macs_equal_layer_macs(self):
+        from repro.nn.models.alexnet import ALEXNET_LAYERS, gemm_shapes
+
+        for layer, shape in zip(ALEXNET_LAYERS, gemm_shapes()):
+            assert shape.macs == layer.macs

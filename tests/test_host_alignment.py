@@ -1,0 +1,93 @@
+"""Tests for repro.host.alignment (the 8-byte transfer protocol)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.host import alignment
+from repro.errors import TransferError
+
+
+class TestAlignmentPredicates:
+    def test_is_aligned(self):
+        assert alignment.is_aligned(0)
+        assert alignment.is_aligned(8)
+        assert alignment.is_aligned(1024)
+        assert not alignment.is_aligned(4)
+        assert not alignment.is_aligned(9)
+
+    def test_align_up(self):
+        assert alignment.align_up(0) == 0
+        assert alignment.align_up(1) == 8
+        assert alignment.align_up(8) == 8
+        assert alignment.align_up(9) == 16
+
+    def test_align_up_rejects_negative(self):
+        with pytest.raises(TransferError):
+            alignment.align_up(-1)
+
+    def test_padding_needed(self):
+        assert alignment.padding_needed(8) == 0
+        assert alignment.padding_needed(5) == 3
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=200)
+    def test_align_up_properties(self, n):
+        aligned = alignment.align_up(n)
+        assert aligned >= n
+        assert aligned % 8 == 0
+        assert aligned - n < 8
+
+
+class TestPadBuffer:
+    def test_pads_to_boundary(self):
+        padded = alignment.pad_buffer(b"hello")
+        assert padded.padded_size == 8
+        assert padded.actual_size == 5
+        assert padded.padding == 3
+        assert padded.unpadded() == b"hello"
+        assert padded.data == b"hello\0\0\0"
+
+    def test_aligned_buffer_untouched(self):
+        padded = alignment.pad_buffer(b"12345678")
+        assert padded.padding == 0
+        assert padded.data == b"12345678"
+
+    def test_custom_fill(self):
+        padded = alignment.pad_buffer(b"ab", fill=0xFF)
+        assert padded.data == b"ab" + b"\xff" * 6
+
+    def test_pad_array(self):
+        padded = alignment.pad_array(np.array([1, 2, 3], dtype=np.int16))
+        assert padded.actual_size == 6
+        assert padded.padded_size == 8
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=200)
+    def test_padding_invariants(self, data):
+        padded = alignment.pad_buffer(data)
+        assert padded.padded_size % 8 == 0
+        assert padded.unpadded() == data
+        assert padded.padded_size - padded.actual_size < 8
+
+
+class TestValidateTransfer:
+    def test_accepts_legal_transfer(self):
+        alignment.validate_transfer(64)
+        alignment.validate_transfer(8, offset=16)
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(TransferError, match="not divisible"):
+            alignment.validate_transfer(10)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(TransferError):
+            alignment.validate_transfer(0)
+
+    def test_rejects_unaligned_offset(self):
+        with pytest.raises(TransferError, match="offset"):
+            alignment.validate_transfer(8, offset=4)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(TransferError):
+            alignment.validate_transfer(8, offset=-8)

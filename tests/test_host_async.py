@@ -1,0 +1,82 @@
+"""Tests for asynchronous launches (repro.host.runtime.AsyncLaunch)."""
+
+import pytest
+
+from repro.dpu.assembler import assemble
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.dpu.device import DpuImage
+from repro.host.runtime import DpuSystem, wait_all
+from repro.errors import LaunchError
+
+SMALL = UPMEM_ATTRIBUTES.scaled(8)
+
+
+def image(n_nops: int) -> DpuImage:
+    return DpuImage(
+        name=f"nops{n_nops}",
+        program=assemble("nop\n" * n_nops + "halt"),
+    )
+
+
+class TestAsyncLaunch:
+    def test_wait_returns_report(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(2)
+        dpu_set.load(image(10))
+        handle = dpu_set.launch_async()
+        assert not handle.done
+        report = handle.wait()
+        assert handle.done
+        assert report.cycles == 11 * 11
+
+    def test_wait_all_takes_the_slowest(self):
+        system = DpuSystem(SMALL)
+        fast_set = system.allocate(2)
+        slow_set = system.allocate(2)
+        fast_set.load(image(5))
+        slow_set.load(image(500))
+        combined = wait_all([
+            fast_set.launch_async(),
+            slow_set.launch_async(),
+        ])
+        assert combined.cycles == 501 * 11
+        assert combined.n_dpus == 4
+        assert len(combined.per_dpu_cycles) == 4
+
+    def test_wait_all_empty_rejected(self):
+        with pytest.raises(LaunchError):
+            wait_all([])
+
+    def test_async_respects_launch_validation(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(1)
+        with pytest.raises(LaunchError):
+            dpu_set.launch_async()  # no image loaded
+
+
+class TestOverlapModel:
+    def test_no_overlap_is_eq_5_1(self):
+        from repro.pimmodel.equations import total_seconds, total_seconds_overlapped
+
+        assert total_seconds_overlapped(0.3, 0.7, 0.0) == total_seconds(0.3, 0.7)
+
+    def test_full_overlap_is_max(self):
+        from repro.pimmodel.equations import total_seconds_overlapped
+
+        assert total_seconds_overlapped(0.3, 0.7, 1.0) == pytest.approx(0.7)
+
+    def test_interpolation_monotone(self):
+        from repro.pimmodel.equations import total_seconds_overlapped
+
+        values = [
+            total_seconds_overlapped(0.4, 0.6, f)
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_bad_fraction(self):
+        from repro.errors import ModelError
+        from repro.pimmodel.equations import total_seconds_overlapped
+
+        with pytest.raises(ModelError):
+            total_seconds_overlapped(1.0, 1.0, 1.5)

@@ -1,0 +1,119 @@
+"""Tests for repro.host.runtime (allocation, load, launch)."""
+
+import numpy as np
+import pytest
+
+from repro.dpu.assembler import assemble
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.dpu.device import DpuImage
+from repro.host.runtime import DpuSystem
+from repro.errors import AllocationError, LaunchError
+
+SMALL = UPMEM_ATTRIBUTES.scaled(16)
+
+
+def program_image():
+    return DpuImage(
+        name="store7",
+        program=assemble(
+            """
+                li r1, 7
+                li r9, 0
+                sw r1, r9, 0
+                halt
+            """
+        ),
+    )
+
+
+class TestAllocation:
+    def test_allocate_within_capacity(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(4)
+        assert len(dpu_set) == 4
+        assert system.n_free == 12
+
+    def test_over_allocation_rejected(self):
+        system = DpuSystem(SMALL)
+        with pytest.raises(AllocationError):
+            system.allocate(17)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(AllocationError):
+            DpuSystem(SMALL).allocate(0)
+
+    def test_disjoint_sets(self):
+        system = DpuSystem(SMALL)
+        a = system.allocate(8)
+        b = system.allocate(8)
+        ids_a = {dpu.dpu_id for dpu in a}
+        ids_b = {dpu.dpu_id for dpu in b}
+        assert not ids_a & ids_b
+
+    def test_free_returns_dpus(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(10)
+        system.free(dpu_set)
+        assert system.n_free == 16
+        again = system.allocate(16)
+        assert len(again) == 16
+
+    def test_lazy_instantiation(self):
+        system = DpuSystem(UPMEM_ATTRIBUTES)  # full 2560-DPU system
+        system.allocate(2)
+        assert len(system._dpus) == 2
+
+    def test_dpus_needed_for(self):
+        system = DpuSystem(SMALL)
+        assert system.dpus_needed_for(16, 16) == 1
+        assert system.dpus_needed_for(17, 16) == 2
+        assert system.dpus_needed_for(10**6, 16) == 16  # capped
+        with pytest.raises(AllocationError):
+            system.dpus_needed_for(10, 0)
+
+
+class TestSetOperations:
+    def test_load_and_launch(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(3)
+        dpu_set.load(program_image())
+        report = dpu_set.launch()
+        assert report.n_dpus == 3
+        assert report.cycles > 0
+        assert report.seconds == pytest.approx(report.cycles / 350e6)
+        for dpu in dpu_set:
+            assert dpu.wram.read_u32(0) == 7
+
+    def test_launch_before_load(self):
+        system = DpuSystem(SMALL)
+        with pytest.raises(LaunchError):
+            system.allocate(1).launch()
+
+    def test_set_time_is_max_over_dpus(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(4)
+        dpu_set.load(program_image())
+        report = dpu_set.launch()
+        assert report.cycles == max(report.per_dpu_cycles)
+        assert 0 <= report.slowest_dpu < 4
+
+    def test_indexing_and_iteration(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(2)
+        assert dpu_set[0] is not dpu_set[1]
+        assert len(list(dpu_set)) == 2
+
+    def test_broadcast_scatter_gather(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(2)
+        image = DpuImage.from_symbol_layout(
+            "sym", kernel_name="test_double", layout=[("data", 32)]
+        )
+        dpu_set.load(image)
+        dpu_set.broadcast("data", b"SAMEDATA")
+        assert {bytes(r) for r in dpu_set.gather("data", 8)} == {b"SAMEDATA"}
+        dpu_set.scatter(
+            "data", [np.full(4, i, dtype=np.int16) for i in range(2)]
+        )
+        rows = dpu_set.gather("data", 8)
+        assert rows[0] != rows[1]

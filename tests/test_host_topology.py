@@ -1,0 +1,79 @@
+"""Tests for repro.host.topology (system organization)."""
+
+import pytest
+
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.host.topology import SystemTopology
+from repro.errors import AllocationError
+
+
+class TestAddressMapping:
+    def setup_method(self):
+        self.topology = SystemTopology(UPMEM_ATTRIBUTES)
+
+    def test_first_dpu(self):
+        address = self.topology.address_of(0)
+        assert (address.dimm, address.chip, address.slot) == (0, 0, 0)
+
+    def test_last_dpu(self):
+        address = self.topology.address_of(2559)
+        assert address.dimm == 19
+        assert address.chip == 15
+        assert address.slot == 7
+
+    def test_chip_boundary(self):
+        assert self.topology.address_of(7).chip == 0
+        assert self.topology.address_of(8).chip == 1
+
+    def test_dimm_boundary(self):
+        assert self.topology.address_of(127).dimm == 0
+        assert self.topology.address_of(128).dimm == 1
+
+    def test_round_trip_every_dpu(self):
+        per_dimm = UPMEM_ATTRIBUTES.dpus_per_dimm
+        per_chip = UPMEM_ATTRIBUTES.dpus_per_chip
+        for dpu_id in range(0, 2560, 97):  # stride through the system
+            address = self.topology.address_of(dpu_id)
+            reconstructed = (
+                address.dimm * per_dimm
+                + address.chip * per_chip
+                + address.slot
+            )
+            assert reconstructed == dpu_id
+
+    def test_out_of_range(self):
+        with pytest.raises(AllocationError):
+            self.topology.address_of(2560)
+        with pytest.raises(AllocationError):
+            self.topology.address_of(-1)
+
+    def test_str_form(self):
+        assert "dimm0" in str(self.topology.address_of(3))
+
+
+class TestGrouping:
+    def setup_method(self):
+        self.topology = SystemTopology(UPMEM_ATTRIBUTES)
+
+    def test_dpus_in_dimm(self):
+        ids = self.topology.dpus_in_dimm(2)
+        assert list(ids)[:2] == [256, 257]
+        assert len(ids) == 128
+
+    def test_dpus_in_chip(self):
+        ids = self.topology.dpus_in_chip(0, 1)
+        assert list(ids) == list(range(8, 16))
+
+    def test_bad_dimm(self):
+        with pytest.raises(AllocationError):
+            self.topology.dpus_in_dimm(20)
+
+    def test_bad_chip(self):
+        with pytest.raises(AllocationError):
+            self.topology.dpus_in_chip(0, 16)
+
+    def test_summary(self):
+        summary = self.topology.summary()
+        assert summary["dpus"] == 2560
+        assert summary["dimms"] == 20
+        assert summary["chips"] == 320

@@ -1,0 +1,142 @@
+"""Tests for repro.nn.binary (bit-packing and binary convolution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import binary
+from repro.errors import WorkloadError
+
+sign_arrays = hnp.arrays(
+    np.int8, st.integers(1, 64), elements=st.sampled_from([-1, 1])
+)
+
+
+class TestBinarize:
+    def test_threshold(self):
+        out = binary.binarize(np.array([0.2, 0.5, 0.9]), threshold=0.5)
+        assert out.tolist() == [-1, 1, 1]
+
+    def test_default_threshold_zero(self):
+        assert binary.binarize(np.array([-0.1, 0.0])).tolist() == [-1, 1]
+
+
+class TestBitConversions:
+    @given(sign_arrays)
+    @settings(max_examples=100)
+    def test_round_trip(self, signs):
+        assert np.array_equal(binary.from_bits(binary.to_bits(signs)), signs)
+
+    def test_to_bits_validates(self):
+        with pytest.raises(WorkloadError):
+            binary.to_bits(np.array([0, 1]))
+
+    def test_from_bits_validates(self):
+        with pytest.raises(WorkloadError):
+            binary.from_bits(np.array([2]))
+
+
+class TestPacking:
+    @given(hnp.arrays(np.uint8, st.integers(1, 200), elements=st.sampled_from([0, 1])))
+    @settings(max_examples=100)
+    def test_pack_unpack_round_trip(self, bits):
+        packed = binary.pack_bits(bits)
+        assert len(packed) == -(-bits.size // 8)
+        assert np.array_equal(binary.unpack_bits(packed, bits.size), bits)
+
+    def test_mnist_packed_size(self):
+        """Section 4.1.3: a 28x28 binary image packs into 98 bytes."""
+        image = np.zeros((28, 28), dtype=np.float32)
+        assert len(binary.pack_image(image)) == binary.MNIST_PACKED_BYTES == 98
+        assert binary.MNIST_PACKED_PADDED_BYTES == 104
+
+    def test_sixteen_images_fit_one_dma_transfer(self):
+        """The constraint that sets 16 images per DPU (Section 4.1.3)."""
+        assert 16 * binary.MNIST_PACKED_PADDED_BYTES <= 2048
+
+    def test_image_round_trip(self):
+        rng = np.random.default_rng(1)
+        image = rng.random((28, 28)).astype(np.float32)
+        packed = binary.pack_image(image, threshold=0.5)
+        recovered = binary.unpack_image(packed, 28, 28)
+        expected = binary.binarize(image, 0.5)
+        assert np.array_equal(recovered, expected)
+
+    def test_unpack_too_few_bits(self):
+        with pytest.raises(WorkloadError):
+            binary.unpack_bits(b"\x00", 9)
+
+
+class TestBinaryDot:
+    @given(sign_arrays)
+    @settings(max_examples=200)
+    def test_xnor_popcount_identity(self, signs):
+        """n - 2*popcount(a XOR b) equals the integer dot product."""
+        rng = np.random.default_rng(signs.size)
+        other = rng.choice(np.array([-1, 1], dtype=np.int8), size=signs.size)
+        assert binary.binary_dot(signs, other) == int(
+            signs.astype(int) @ other.astype(int)
+        )
+
+    def test_self_dot_is_length(self):
+        signs = np.array([1, -1, 1, 1], dtype=np.int8)
+        assert binary.binary_dot(signs, signs) == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            binary.binary_dot(
+                np.array([1, -1], dtype=np.int8), np.array([1], dtype=np.int8)
+            )
+
+
+class TestBinaryConv:
+    def test_against_direct_correlation(self):
+        rng = np.random.default_rng(9)
+        image = rng.choice(np.array([-1, 1], dtype=np.int8), size=(10, 10))
+        weights = rng.choice(np.array([-1, 1], dtype=np.int8), size=(4, 3, 3))
+        out = binary.binary_conv2d(image, weights, padding=1)
+        padded = np.pad(image, 1, constant_values=-1).astype(np.int32)
+        for f in (0, 3):
+            for y in (0, 5, 9):
+                for x in (0, 9):
+                    window = padded[y : y + 3, x : x + 3]
+                    assert out[f, y, x] == np.sum(window * weights[f])
+
+    def test_output_range_bounded(self):
+        """Conv results live in [-k*k, k*k] — the LUT index domain."""
+        rng = np.random.default_rng(10)
+        image = rng.choice(np.array([-1, 1], dtype=np.int8), size=(28, 28))
+        weights = rng.choice(np.array([-1, 1], dtype=np.int8), size=(8, 3, 3))
+        out = binary.binary_conv2d(image, weights, padding=1)
+        lo, hi = binary.conv_result_range(3)
+        assert out.min() >= lo
+        assert out.max() <= hi
+
+    def test_parity_invariant(self):
+        """A k*k binary correlation always has the parity of k*k."""
+        rng = np.random.default_rng(11)
+        image = rng.choice(np.array([-1, 1], dtype=np.int8), size=(8, 8))
+        weights = rng.choice(np.array([-1, 1], dtype=np.int8), size=(2, 3, 3))
+        out = binary.binary_conv2d(image, weights, padding=1)
+        assert np.all(out % 2 == 1)  # 9 is odd
+
+    def test_all_agree_hits_max(self):
+        image = np.ones((5, 5), dtype=np.int8)
+        weights = np.ones((1, 3, 3), dtype=np.int8)
+        out = binary.binary_conv2d(image, weights, padding=0)
+        assert np.all(out == 9)
+
+    def test_shape_validation(self):
+        with pytest.raises(WorkloadError):
+            binary.binary_conv2d(np.ones((2, 2, 2), dtype=np.int8),
+                                 np.ones((1, 3, 3), dtype=np.int8))
+        with pytest.raises(WorkloadError):
+            binary.binary_conv2d(np.ones((5, 5), dtype=np.int8),
+                                 np.ones((1, 3, 2), dtype=np.int8))
+
+    def test_conv_result_range(self):
+        assert binary.conv_result_range(3) == (-9, 9)
+        assert binary.conv_result_range(3, in_channels=4) == (-36, 36)
+        with pytest.raises(WorkloadError):
+            binary.conv_result_range(0)

@@ -1,0 +1,103 @@
+"""Tests for multi-channel binary convolution (deeper-eBNN building block)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.binary import (
+    binarize,
+    binary_conv2d,
+    binary_conv2d_multi,
+    conv_result_range,
+)
+from repro.errors import WorkloadError
+
+
+def signs(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.choice(np.array([-1, 1], dtype=np.int8), size=shape)
+
+
+class TestMultiChannelConv:
+    def test_single_channel_reduces_to_planar(self):
+        image = signs((1, 10, 10))
+        weights = signs((4, 1, 3, 3))
+        multi = binary_conv2d_multi(image, weights)
+        planar = binary_conv2d(image[0], weights[:, 0])
+        assert np.array_equal(multi, planar)
+
+    def test_channels_sum(self):
+        image = signs((3, 8, 8), seed=1)
+        weights = signs((2, 3, 3, 3), seed=2)
+        out = binary_conv2d_multi(image, weights)
+        manual = sum(
+            binary_conv2d(image[c], weights[:, c]) for c in range(3)
+        )
+        assert np.array_equal(out, manual)
+
+    def test_range_bound(self):
+        image = signs((4, 12, 12), seed=3)
+        weights = signs((5, 4, 3, 3), seed=4)
+        out = binary_conv2d_multi(image, weights)
+        lo, hi = conv_result_range(3, in_channels=4)
+        assert lo == -36 and hi == 36
+        assert out.min() >= lo and out.max() <= hi
+
+    def test_against_dense_correlation(self):
+        image = signs((2, 6, 6), seed=5).astype(np.int32)
+        weights = signs((1, 2, 3, 3), seed=6).astype(np.int32)
+        out = binary_conv2d_multi(image, weights, padding=0)
+        for y in range(4):
+            for x in range(4):
+                window = image[:, y : y + 3, x : x + 3]
+                assert out[0, y, x] == np.sum(window * weights[0])
+
+    def test_stride(self):
+        image = signs((2, 8, 8), seed=7)
+        weights = signs((3, 2, 3, 3), seed=8)
+        out = binary_conv2d_multi(image, weights, padding=1, stride=2)
+        assert out.shape == (3, 4, 4)
+
+    def test_shape_validation(self):
+        with pytest.raises(WorkloadError):
+            binary_conv2d_multi(signs((8, 8)), signs((1, 1, 3, 3)))
+        with pytest.raises(WorkloadError):
+            binary_conv2d_multi(signs((2, 8, 8)), signs((1, 3, 3, 3)))
+
+
+class TestStackedBlocks:
+    def test_two_block_ebnn_pipeline(self):
+        """Block 2 consumes block 1's binary output — the deeper eBNN."""
+        from repro.core.lut import create_lut
+        from repro.nn.layers import BatchNormParams, maxpool2d_int
+
+        rng = np.random.default_rng(9)
+        image = binarize(rng.random((16, 16)), 0.5)
+
+        # block 1: 1 -> 4 filters
+        w1 = signs((4, 3, 3), seed=10)
+        conv1 = binary_conv2d(image, w1, padding=1)
+        pool1 = maxpool2d_int(conv1, 2)
+        bn1 = BatchNormParams(
+            w0=np.zeros(4), w1=np.zeros(4), w2=np.ones(4),
+            w3=np.ones(4), w4=np.zeros(4),
+        )
+        lut1 = create_lut(bn1, *conv_result_range(3))
+        bits1 = lut1.lookup_all(pool1)
+        feature_signs = np.where(bits1 > 0, 1, -1).astype(np.int8)
+
+        # block 2: 4 -> 6 filters over the binary features
+        w2 = signs((6, 4, 3, 3), seed=11)
+        conv2 = binary_conv2d_multi(feature_signs, w2, padding=1)
+        lo, hi = conv_result_range(3, in_channels=4)
+        assert conv2.min() >= lo and conv2.max() <= hi
+
+        # block 2's LUT covers the wider range
+        bn2 = BatchNormParams(
+            w0=np.zeros(6), w1=np.zeros(6), w2=np.ones(6),
+            w3=np.ones(6), w4=np.zeros(6),
+        )
+        lut2 = create_lut(bn2, lo, hi)
+        pool2 = maxpool2d_int(conv2, 2)
+        bits2 = lut2.lookup_all(pool2)
+        assert bits2.shape == (6, 4, 4)
+        assert set(np.unique(bits2)) <= {0, 1}

@@ -1,0 +1,116 @@
+"""Tests for repro.nn.detection (IoU and NMS)."""
+
+import pytest
+
+from repro.nn.detection import Box, iou, non_max_suppression, postprocess
+from repro.errors import WorkloadError
+
+
+def box(x=0.0, y=0.0, w=10.0, h=10.0, conf=0.9, cls=0):
+    return Box(x=x, y=y, w=w, h=h, confidence=conf, class_id=cls)
+
+
+class TestBox:
+    def test_edges(self):
+        b = box(x=50, y=40, w=20, h=10)
+        assert (b.left, b.right) == (40, 60)
+        assert (b.top, b.bottom) == (35, 45)
+        assert b.area == 200
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            box(w=-1)
+        with pytest.raises(WorkloadError):
+            box(conf=1.5)
+
+    def test_from_dict(self):
+        raw = {"x": 1.0, "y": 2.0, "w": 3.0, "h": 4.0,
+               "confidence": 0.5, "class_id": 7}
+        b = Box.from_dict(raw)
+        assert b.class_id == 7 and b.w == 3.0
+
+
+class TestIou:
+    def test_identical_boxes(self):
+        assert iou(box(), box()) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou(box(x=0), box(x=100)) == 0.0
+
+    def test_half_overlap(self):
+        a = box(x=0, y=0, w=10, h=10)
+        b = box(x=5, y=0, w=10, h=10)
+        # intersection 50, union 150
+        assert iou(a, b) == pytest.approx(1 / 3)
+
+    def test_symmetry(self):
+        a = box(x=0, w=12)
+        b = box(x=4, w=8)
+        assert iou(a, b) == pytest.approx(iou(b, a))
+
+    def test_containment(self):
+        outer = box(w=20, h=20)
+        inner = box(w=10, h=10)
+        assert iou(outer, inner) == pytest.approx(100 / 400)
+
+
+class TestNms:
+    def test_suppresses_overlapping_duplicates(self):
+        boxes = [box(conf=0.9), box(x=1, conf=0.8), box(x=100, conf=0.7)]
+        kept = non_max_suppression(boxes)
+        assert len(kept) == 2
+        assert kept[0].confidence == 0.9
+        assert kept[1].x == 100
+
+    def test_keeps_highest_confidence(self):
+        boxes = [box(conf=0.6), box(conf=0.95), box(conf=0.7)]
+        kept = non_max_suppression(boxes)
+        assert len(kept) == 1
+        assert kept[0].confidence == 0.95
+
+    def test_class_aware_keeps_other_classes(self):
+        boxes = [box(conf=0.9, cls=0), box(conf=0.8, cls=1)]
+        kept = non_max_suppression(boxes, class_aware=True)
+        assert len(kept) == 2
+
+    def test_class_blind_suppresses_across_classes(self):
+        boxes = [box(conf=0.9, cls=0), box(conf=0.8, cls=1)]
+        kept = non_max_suppression(boxes, class_aware=False)
+        assert len(kept) == 1
+
+    def test_empty_input(self):
+        assert non_max_suppression([]) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(WorkloadError):
+            non_max_suppression([], iou_threshold=2.0)
+
+    def test_output_sorted_by_confidence(self):
+        boxes = [box(x=i * 100, conf=c)
+                 for i, c in enumerate((0.5, 0.9, 0.7))]
+        kept = non_max_suppression(boxes)
+        confidences = [b.confidence for b in kept]
+        assert confidences == sorted(confidences, reverse=True)
+
+
+class TestPostprocess:
+    def test_threshold_then_nms(self):
+        raw = [
+            {"x": 0, "y": 0, "w": 10, "h": 10, "confidence": 0.9, "class_id": 0},
+            {"x": 1, "y": 0, "w": 10, "h": 10, "confidence": 0.8, "class_id": 0},
+            {"x": 0, "y": 0, "w": 10, "h": 10, "confidence": 0.3, "class_id": 0},
+        ]
+        kept = postprocess(raw, conf_threshold=0.5)
+        assert len(kept) == 1
+
+    def test_end_to_end_with_decoder(self):
+        """postprocess consumes the YOLOv3 decoder's output directly."""
+        import numpy as np
+
+        from repro.nn.models.darknet import Yolov3Model
+
+        model = Yolov3Model(64, width_scale=0.05, seed=5)
+        image = np.random.default_rng(0).random((3, 64, 64)).astype(np.float32)
+        raw = model.decode_detections(model.forward(image), conf_threshold=0.0)
+        kept = postprocess(raw, conf_threshold=0.0, iou_threshold=0.5)
+        assert 0 < len(kept) <= len(raw)

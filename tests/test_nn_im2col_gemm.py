@@ -1,0 +1,153 @@
+"""Tests for repro.nn.im2col and repro.nn.gemm (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.gemm import GemmShape, gemm_fast, gemm_reference, gemm_row
+from repro.nn.im2col import ConvGeometry, col2im_output, im2col
+from repro.errors import WorkloadError
+
+
+class TestConvGeometry:
+    def test_output_dims(self):
+        g = ConvGeometry(3, 416, 416, kernel=3, stride=1, padding=1)
+        assert (g.out_height, g.out_width) == (416, 416)
+        assert g.gemm_k == 27
+        assert g.gemm_n == 416 * 416
+
+    def test_strided(self):
+        g = ConvGeometry(32, 416, 416, kernel=3, stride=2, padding=1)
+        assert g.out_height == 208
+
+    def test_macs(self):
+        g = ConvGeometry(1, 4, 4, kernel=2)
+        assert g.macs(out_channels=5) == 5 * 4 * 9
+
+    def test_kernel_too_large(self):
+        with pytest.raises(WorkloadError):
+            ConvGeometry(1, 2, 2, kernel=5)
+
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            ConvGeometry(0, 4, 4, kernel=1)
+        with pytest.raises(WorkloadError):
+            ConvGeometry(1, 4, 4, kernel=1, stride=0)
+        with pytest.raises(WorkloadError):
+            ConvGeometry(1, 4, 4, kernel=1, padding=-1)
+
+
+class TestIm2col:
+    def test_identity_kernel(self):
+        """1x1 kernel: im2col is just a reshape."""
+        g = ConvGeometry(2, 3, 3, kernel=1)
+        image = np.arange(18).reshape(2, 3, 3)
+        cols = im2col(image, g)
+        assert cols.shape == (2, 9)
+        assert np.array_equal(cols[0], image[0].reshape(-1))
+
+    def test_against_direct_convolution(self):
+        """im2col + matmul == direct sliding-window convolution."""
+        rng = np.random.default_rng(7)
+        g = ConvGeometry(3, 8, 8, kernel=3, stride=1, padding=1)
+        image = rng.normal(size=(3, 8, 8))
+        weights = rng.normal(size=(5, 3, 3, 3))
+        cols = im2col(image, g)
+        out = (weights.reshape(5, -1) @ cols).reshape(5, 8, 8)
+        padded = np.pad(image, ((0, 0), (1, 1), (1, 1)))
+        for f in (0, 4):
+            for y in (0, 3, 7):
+                for x in (0, 5):
+                    window = padded[:, y : y + 3, x : x + 3]
+                    expected = np.sum(window * weights[f])
+                    assert out[f, y, x] == pytest.approx(expected)
+
+    def test_stride_two(self):
+        g = ConvGeometry(1, 6, 6, kernel=2, stride=2)
+        image = np.arange(36, dtype=np.float64).reshape(1, 6, 6)
+        cols = im2col(image, g)
+        assert cols.shape == (4, 9)
+        # first output pixel sees the top-left 2x2 window
+        assert cols[:, 0].tolist() == [0, 1, 6, 7]
+
+    def test_shape_mismatch(self):
+        g = ConvGeometry(1, 4, 4, kernel=2)
+        with pytest.raises(WorkloadError):
+            im2col(np.zeros((2, 4, 4)), g)
+
+    def test_col2im_round_shape(self):
+        g = ConvGeometry(1, 6, 6, kernel=3)
+        flat = np.zeros((7, g.gemm_n))
+        assert col2im_output(flat, g).shape == (7, 4, 4)
+
+
+class TestGemmShape:
+    def test_macs(self):
+        assert GemmShape(4, 5, 6).macs == 120
+        assert GemmShape(4, 5, 6).output_elements == 20
+
+    def test_bad_shape(self):
+        with pytest.raises(WorkloadError):
+            GemmShape(0, 1, 1)
+
+
+def random_gemm(rng, m=4, n=6, k=5, lo=-50, hi=50):
+    a = rng.integers(lo, hi, size=(m, k)).astype(np.int16)
+    b = rng.integers(lo, hi, size=(k, n)).astype(np.int16)
+    return a, b
+
+
+class TestGemmImplementations:
+    def test_reference_matches_fast(self):
+        rng = np.random.default_rng(3)
+        a, b = random_gemm(rng)
+        c_ref = np.zeros((4, 6), dtype=np.int32)
+        gemm_reference(4, 6, 5, 1, a, b, c_ref)
+        c_fast = gemm_fast(1, a, b)
+        assert np.array_equal(c_ref, c_fast)
+
+    def test_row_matches_fast(self):
+        rng = np.random.default_rng(4)
+        a, b = random_gemm(rng)
+        c_fast = gemm_fast(1, a, b)
+        for i in range(4):
+            assert np.array_equal(gemm_row(1, a[i], b), c_fast[i])
+
+    def test_alpha_scaling(self):
+        rng = np.random.default_rng(5)
+        a, b = random_gemm(rng, lo=-5, hi=5)
+        c1 = gemm_fast(1, a, b)
+        c2 = gemm_fast(2, a, b)
+        # alpha=2 doubles the accumulator before the /32 rescale
+        acc1 = (a.astype(np.int64) @ b.astype(np.int64))
+        acc2 = 2 * acc1
+        assert np.array_equal(
+            c2, np.clip(np.sign(acc2) * (np.abs(acc2) // 32), -32767, 32767)
+        )
+
+    def test_output_clamped(self):
+        a = np.full((1, 4), 30000, dtype=np.int32)
+        b = np.full((4, 1), 30000, dtype=np.int32)
+        assert gemm_fast(1, a, b)[0, 0] == 32767
+        assert gemm_fast(1, -a, b)[0, 0] == -32767
+
+    def test_shape_validation(self):
+        a = np.zeros((2, 3), dtype=np.int16)
+        b = np.zeros((4, 5), dtype=np.int16)
+        with pytest.raises(WorkloadError):
+            gemm_fast(1, a, b)
+        with pytest.raises(WorkloadError):
+            gemm_row(1, np.zeros(3, dtype=np.int16), b)
+        with pytest.raises(WorkloadError):
+            gemm_reference(2, 5, 3, 1, a, np.zeros((3, 5), np.int16),
+                           np.zeros((3, 5), np.int32))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_reference_vs_fast_property(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n, k = rng.integers(1, 6, size=3)
+        a, b = random_gemm(rng, m=m, n=n, k=k, lo=-1000, hi=1000)
+        c_ref = np.zeros((m, n), dtype=np.int32)
+        gemm_reference(m, n, k, 1, a, b, c_ref)
+        assert np.array_equal(c_ref, gemm_fast(1, a, b))

@@ -1,0 +1,150 @@
+"""Tests for repro.nn.quantize."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.quantize import (
+    QuantParams,
+    qdtype,
+    qrange,
+    quantization_error,
+    quantize_tensor,
+    requantize_shift,
+)
+from repro.errors import QuantizationError
+
+
+class TestRanges:
+    def test_qrange_values(self):
+        assert qrange(8) == (-128, 127)
+        assert qrange(16) == (-32768, 32767)
+        assert qrange(32) == (-(2**31), 2**31 - 1)
+
+    def test_qdtype(self):
+        assert qdtype(8) == np.int8
+        assert qdtype(16) == np.int16
+
+    def test_unsupported_width(self):
+        with pytest.raises(QuantizationError):
+            qrange(12)
+        with pytest.raises(QuantizationError):
+            qdtype(64)
+
+
+class TestQuantParams:
+    def test_from_tensor_uses_peak(self):
+        params = QuantParams.from_tensor(np.array([0.5, -2.0, 1.0]), bits=8)
+        assert params.scale == pytest.approx(2.0 / 127)
+
+    def test_zero_tensor_gets_unit_peak(self):
+        params = QuantParams.from_tensor(np.zeros(4), bits=8)
+        assert params.scale > 0
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=0.0)
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=-1.0)
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=float("nan"))
+
+    def test_quantize_saturates(self):
+        params = QuantParams(scale=1.0, bits=8)
+        quantized = params.quantize(np.array([1000.0, -1000.0]))
+        assert quantized.tolist() == [127, -128]
+
+    def test_quantize_rounds_half_away(self):
+        params = QuantParams(scale=1.0, bits=8)
+        assert params.quantize(np.array([0.5]))[0] == 1
+        assert params.quantize(np.array([-0.5]))[0] == -1
+
+    def test_dequantize_inverts_scale(self):
+        params = QuantParams(scale=0.25, bits=16)
+        assert params.dequantize(np.array([4], dtype=np.int16))[0] == 1.0
+
+    @given(
+        hnp.arrays(
+            np.float64, st.integers(1, 40),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=200)
+    def test_round_trip_error_bounded(self, values):
+        """Round-trip error never exceeds half a quantization step.
+
+        Dequantization runs in float32, so allow its relative rounding
+        (~2^-24 of the value) on top of the exact half-step bound.
+        """
+        quantized, params = quantize_tensor(values, bits=16)
+        restored = params.dequantize(quantized)
+        bound = params.scale / 2 + np.abs(values) * 1e-6 + 1e-9
+        assert np.all(np.abs(values - restored) <= bound)
+
+    @given(
+        hnp.arrays(
+            np.float64, st.integers(1, 40),
+            elements=st.floats(-1000, 1000, allow_nan=False),
+        )
+    )
+    @settings(max_examples=200)
+    def test_quantized_values_in_range(self, values):
+        quantized, params = quantize_tensor(values, bits=8)
+        lo, hi = qrange(8)
+        assert quantized.min() >= lo
+        assert quantized.max() <= hi
+        assert quantized.dtype == np.int8
+
+
+class TestRequantizeShift:
+    def test_algorithm_2_clamp(self):
+        acc = np.array([32, -32, 32 * 40000, -32 * 40000], dtype=np.int64)
+        out = requantize_shift(acc)
+        assert out.tolist() == [1, -1, 32767, -32767]
+
+    def test_truncates_toward_zero(self):
+        acc = np.array([-33, 33, -63, 63], dtype=np.int64)
+        out = requantize_shift(acc, 32)
+        assert out.tolist() == [-1, 1, -1, 1]
+
+    def test_custom_divisor(self):
+        assert requantize_shift(np.array([100]), 10, 1000)[0] == 10
+
+    def test_bad_parameters(self):
+        with pytest.raises(QuantizationError):
+            requantize_shift(np.array([1]), 0)
+        with pytest.raises(QuantizationError):
+            requantize_shift(np.array([1]), 32, 0)
+
+    @given(
+        hnp.arrays(
+            np.int64, st.integers(1, 30),
+            elements=st.integers(-(2**40), 2**40),
+        )
+    )
+    @settings(max_examples=200)
+    def test_output_always_clamped(self, acc):
+        out = requantize_shift(acc)
+        assert np.all(np.abs(out) <= 32767)
+
+    def test_matches_c_semantics_against_python(self):
+        """Trunc-toward-zero matches int(x/32) for representative values."""
+        for value in (-1000, -33, -1, 0, 1, 33, 1000, 10**6):
+            assert requantize_shift(np.array([value]))[0] == max(
+                -32767, min(32767, int(value / 32))
+            )
+
+
+class TestQuantizationError:
+    def test_error_zero_on_exact_grid(self):
+        values = np.array([0.0, 1.0, -1.0])
+        # peak 1.0 at 8 bits: scale 1/127; grid contains these values?
+        # use values already at scale multiples
+        error = quantization_error(values * 127, bits=8)
+        assert error < 1e-9
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=500)
+        assert quantization_error(values, 16) < quantization_error(values, 8)

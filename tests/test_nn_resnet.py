@@ -1,0 +1,69 @@
+"""Tests for repro.nn.models.resnet (ResNet-18 workload)."""
+
+import pytest
+
+from repro.nn.models.resnet import (
+    gemm_shapes,
+    resnet18_layers,
+    total_macs,
+)
+from repro.errors import WorkloadError
+
+
+class TestStructure:
+    def test_layer_count(self):
+        """17 stage convs + stem + 3 downsample projections = 20."""
+        assert len(resnet18_layers()) == 20
+
+    def test_stem_geometry(self):
+        stem = resnet18_layers()[0]
+        assert stem.out_channels == 64
+        assert stem.kernel == 7
+        assert stem.out_size == 56
+        assert stem.gemm.k == 3 * 49
+
+    def test_stage_channel_progression(self):
+        channels = {layer.name.split(".")[0]: layer.out_channels
+                    for layer in resnet18_layers()}
+        assert channels["layer1"] == 64
+        assert channels["layer2"] == 128
+        assert channels["layer3"] == 256
+        assert channels["layer4"] == 512
+
+    def test_downsample_projections(self):
+        names = [layer.name for layer in resnet18_layers()]
+        assert "layer2.downsample" in names
+        assert "layer3.downsample" in names
+        assert "layer4.downsample" in names
+        assert "layer1.downsample" not in names
+
+    def test_resolution_halves_per_stage(self):
+        by_stage = {}
+        for layer in resnet18_layers():
+            by_stage.setdefault(layer.name.split(".")[0], layer.out_size)
+        assert by_stage["layer1"] == 56
+        assert by_stage["layer2"] == 28
+        assert by_stage["layer3"] == 14
+        assert by_stage["layer4"] == 7
+
+
+class TestWorkload:
+    def test_total_macs_matches_published(self):
+        """torchvision reports 1.8 G multiply-adds for ResNet-18."""
+        assert total_macs() == pytest.approx(1.8e9, rel=0.06)
+
+    def test_gemm_shapes_include_fc(self):
+        shapes = gemm_shapes()
+        assert len(shapes) == 21
+        assert shapes[-1].m == 1000 and shapes[-1].n == 1
+
+    def test_scales_with_input(self):
+        assert total_macs(448) > 3 * total_macs(224)
+
+    def test_bad_input_size(self):
+        with pytest.raises(WorkloadError):
+            resnet18_layers(100)
+
+    def test_macs_equal_gemm_macs(self):
+        for layer in resnet18_layers():
+            assert layer.macs == layer.gemm.macs

@@ -1,0 +1,96 @@
+"""Tests for repro.nn.train (the eBNN classifier trainer)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_batch
+from repro.nn.models.ebnn import EbnnModel
+from repro.nn.train import EbnnTrainer
+from repro.errors import WorkloadError
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """One shared training run (training is the slow part)."""
+    model = EbnnModel()
+    trainer = EbnnTrainer(model, epochs=60)
+    batch = generate_batch(400, seed=1)
+    report = trainer.train(batch.normalized(), batch.labels)
+    return model, trainer, report
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        _, _, report = trained
+        assert report.loss_history[-1] < report.loss_history[0] / 2
+
+    def test_train_accuracy_far_above_chance(self, trained):
+        _, _, report = trained
+        assert report.final_train_accuracy > 0.8
+
+    def test_generalizes_to_held_out_digits(self, trained):
+        _, trainer, _ = trained
+        test = generate_batch(150, seed=4242)
+        accuracy = trainer.evaluate(test.normalized(), test.labels)
+        assert accuracy > 0.6
+
+    def test_deployed_weights_are_binary(self, trained):
+        model, _, _ = trained
+        assert set(np.unique(model.fc_weights)) <= {-1, 1}
+        assert model.fc_weights.dtype == np.int8
+
+    def test_deterministic(self):
+        batch = generate_batch(60, seed=2)
+        reports = []
+        for _ in range(2):
+            model = EbnnModel()
+            trainer = EbnnTrainer(model, epochs=5, seed=7)
+            reports.append(trainer.train(batch.normalized(), batch.labels))
+        assert reports[0].loss_history == reports[1].loss_history
+
+    def test_trained_model_runs_on_pim(self, trained):
+        """The deployed weights flow through the full PIM pipeline."""
+        from repro.core.mapping_ebnn import EbnnPimRunner
+        from repro.dpu.attributes import UPMEM_ATTRIBUTES
+        from repro.host.runtime import DpuSystem
+
+        model, _, _ = trained
+        batch = generate_batch(16, seed=77)
+        system = DpuSystem(UPMEM_ATTRIBUTES.scaled(1))
+        result = EbnnPimRunner(system, model).run(batch.normalized())
+        assert np.array_equal(
+            result.predictions, model.predict_batch(batch.normalized())
+        )
+        # trained weights classify the easy glyphs far above chance
+        assert float(np.mean(result.predictions == batch.labels)) > 0.5
+
+
+class TestValidation:
+    def test_bad_hyperparameters(self):
+        model = EbnnModel()
+        with pytest.raises(WorkloadError):
+            EbnnTrainer(model, learning_rate=0.0)
+        with pytest.raises(WorkloadError):
+            EbnnTrainer(model, epochs=0)
+
+    def test_mismatched_labels(self):
+        trainer = EbnnTrainer(EbnnModel(), epochs=1)
+        with pytest.raises(WorkloadError):
+            trainer.train(np.zeros((4, 28, 28)), np.zeros(3, dtype=int))
+
+    def test_label_range_checked(self):
+        trainer = EbnnTrainer(EbnnModel(), epochs=1)
+        with pytest.raises(WorkloadError):
+            trainer.train(np.zeros((2, 28, 28)), np.array([0, 10]))
+
+    def test_empty_training_set(self):
+        trainer = EbnnTrainer(EbnnModel(), epochs=1)
+        with pytest.raises(WorkloadError):
+            trainer.train(np.zeros((0, 28, 28)), np.zeros(0, dtype=int))
+
+    def test_feature_extraction_shape(self):
+        model = EbnnModel()
+        trainer = EbnnTrainer(model, epochs=1)
+        features = trainer.extract_features(np.zeros((3, 28, 28)))
+        assert features.shape == (3, model.config.feature_count)
+        assert set(np.unique(features)) <= {-1.0, 1.0}

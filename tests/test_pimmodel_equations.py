@@ -1,0 +1,130 @@
+"""Tests for repro.pimmodel.equations (Eqs. 5.1-5.6, 5.10)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pimmodel import equations
+from repro.errors import ModelError
+
+positive = st.integers(1, 10**9)
+small_positive = st.integers(1, 10**4)
+
+
+class TestOpCycles:
+    def test_eq_5_4(self):
+        assert equations.op_cycles(4, 1, 11) == 44
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            equations.op_cycles(0, 1, 1)
+        with pytest.raises(ModelError):
+            equations.op_cycles(1, -1, 1)
+
+    def test_eq_5_5_piecewise(self):
+        """UPMEM's Eq. 5.8: threshold at 16 bits."""
+        below = lambda x: 4.0
+        above = lambda x: 370 / 11
+        for bits, expected in ((8, 44), (16, 370), (32, 370)):
+            assert equations.op_cycles_piecewise(
+                bits, 16, below, above, 1, 11
+            ) == pytest.approx(expected)
+
+    def test_eq_5_6_multi_block(self):
+        """DRISA's Eq. 5.7 shape: serial heterogeneous blocks."""
+        blocks = [(2.0, 3.0), (4.0, 1.0)]
+        assert equations.op_cycles_multi_block(blocks, 1) == 10.0
+
+    def test_eq_5_6_collapses_to_5_4(self):
+        """One block with one scale function is exactly Eq. 5.4."""
+        assert equations.op_cycles_multi_block(
+            [(6.0, 1.0)], 11
+        ) == equations.op_cycles(6.0, 1.0, 11)
+
+    def test_eq_5_6_needs_blocks(self):
+        with pytest.raises(ModelError):
+            equations.op_cycles_multi_block([], 1)
+
+
+class TestComputeCycles:
+    def test_eq_5_3_exact_division(self):
+        assert equations.compute_cycles(8, 2560, 256) == 8 * 10
+
+    def test_eq_5_3_ceil(self):
+        """Uneven division forces an extra serial wave."""
+        assert equations.compute_cycles(8, 2561, 256) == 8 * 11
+
+    def test_single_op(self):
+        assert equations.compute_cycles(88, 1, 2560) == 88
+
+    @given(small_positive, positive, small_positive)
+    @settings(max_examples=200)
+    def test_ceil_law(self, op_cycles, total_ops, n_pes):
+        cycles = equations.compute_cycles(op_cycles, total_ops, n_pes)
+        assert cycles == op_cycles * math.ceil(total_ops / n_pes)
+
+    @given(positive, small_positive)
+    @settings(max_examples=100)
+    def test_monotone_in_ops(self, total_ops, n_pes):
+        assert equations.compute_cycles(
+            8, total_ops + 1, n_pes
+        ) >= equations.compute_cycles(8, total_ops, n_pes)
+
+    @given(positive, st.integers(1, 1000))
+    @settings(max_examples=100)
+    def test_more_pes_never_slower(self, total_ops, n_pes):
+        assert equations.compute_cycles(
+            8, total_ops, n_pes + 1
+        ) <= equations.compute_cycles(8, total_ops, n_pes)
+
+
+class TestTimes:
+    def test_eq_5_2(self):
+        assert equations.compute_seconds(350e6, 350e6) == pytest.approx(1.0)
+
+    def test_eq_5_1(self):
+        assert equations.total_seconds(0.3, 0.7) == pytest.approx(1.0)
+
+    def test_eq_5_1_negative_rejected(self):
+        with pytest.raises(ModelError):
+            equations.total_seconds(-0.1, 0.5)
+
+
+class TestMemorySeconds:
+    def test_upmem_table_5_3_column(self):
+        """UPMEM: 32 refills x 9.6e-5 s = 3.07e-3 s."""
+        t_mem = equations.memory_seconds(
+            9.6e-5, int(2.59e9), 2560, 512_000, 8
+        )
+        assert t_mem == pytest.approx(3.072e-3, rel=1e-3)
+
+    def test_ppim_table_5_3_column(self):
+        t_mem = equations.memory_seconds(6.7e-9, int(2.59e9), 256, 256, 8)
+        assert t_mem == pytest.approx(4.237e-3, rel=1e-3)
+
+    def test_drisa_table_5_3_column(self):
+        t_mem = equations.memory_seconds(
+            9.0e-8, int(2.59e9), 32768, 1_048_576, 8
+        )
+        assert t_mem == pytest.approx(1.8e-7, rel=1e-3)
+
+    def test_buffer_too_small(self):
+        with pytest.raises(ModelError):
+            equations.memory_seconds(1e-9, 100, 1, 8, 8)  # one operand only
+
+    @given(st.integers(1, 10**7), st.integers(16, 10**6))
+    @settings(max_examples=100)
+    def test_bigger_buffers_never_slower(self, total_ops, buffer_bits):
+        smaller = equations.memory_seconds(1e-6, total_ops, 64, buffer_bits, 8)
+        bigger = equations.memory_seconds(1e-6, total_ops, 64, 2 * buffer_bits, 8)
+        assert bigger <= smaller
+
+
+class TestModelEvaluation:
+    def test_total(self):
+        evaluation = equations.ModelEvaluation(
+            op_cycles=8, compute_cycles=80, compute_seconds=0.4,
+            memory_seconds=0.1,
+        )
+        assert evaluation.total_seconds == pytest.approx(0.5)

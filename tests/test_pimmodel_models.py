@@ -1,0 +1,216 @@
+"""Tests for compute_model, memory_model and benchmarking (Tables 5.1-5.4)."""
+
+import pytest
+
+from repro.pimmodel.benchmarking import (
+    PAPER_TABLE_5_4,
+    analytical_latency,
+    benchmark_row,
+    latency_for,
+    table_5_4,
+)
+from repro.pimmodel.architectures import PPIM, UPMEM, get as get_arch
+from repro.pimmodel.compute_model import (
+    cycles_for,
+    fig_5_6_comparison,
+    multiplication_cycles_table,
+    serial_waves,
+    sweep_pes,
+    sweep_total_ops,
+    table_5_1,
+)
+from repro.pimmodel.memory_model import (
+    PAPER_ALEXNET_TOTALS_S,
+    alexnet_total_times,
+    refill_count,
+    table_5_3,
+)
+from repro.pimmodel.workloads import ALEXNET, EBNN, YOLOV3, get as get_workload
+from repro.errors import ModelError, WorkloadError
+
+
+class TestTable51:
+    def setup_method(self):
+        self.columns = table_5_1()
+
+    def test_op_cycles_row(self):
+        assert self.columns["pPIM"].op_cycles == 8
+        assert self.columns["DRISA"].op_cycles == 211
+        assert self.columns["UPMEM"].op_cycles == 88
+
+    def test_tcomp_one_mac(self):
+        """Row 11 of the table, verbatim."""
+        assert self.columns["pPIM"].compute_seconds_one_mac == pytest.approx(6.40e-9)
+        assert self.columns["DRISA"].compute_seconds_one_mac == pytest.approx(
+            1.69e-6, rel=0.05
+        )
+        assert self.columns["UPMEM"].compute_seconds_one_mac == pytest.approx(
+            2.51e-7, rel=0.01
+        )
+
+    def test_ccomp_workload(self):
+        """Row 12: C_comp for AlexNet's 2.59e9 operations."""
+        assert self.columns["pPIM"].compute_cycles_workload == pytest.approx(
+            8.0938e7, rel=1e-3
+        )
+        assert self.columns["DRISA"].compute_cycles_workload == pytest.approx(
+            1.6678e7, rel=1e-3
+        )
+        assert self.columns["UPMEM"].compute_cycles_workload == pytest.approx(
+            8.9031e7, rel=1e-3
+        )
+
+    def test_tcomp_workload(self):
+        """Row 13, verbatim to table precision."""
+        assert self.columns["pPIM"].compute_seconds_workload == pytest.approx(
+            6.48e-2, rel=0.01
+        )
+        assert self.columns["DRISA"].compute_seconds_workload == pytest.approx(
+            1.40e-1, rel=0.01
+        )
+        assert self.columns["UPMEM"].compute_seconds_workload == pytest.approx(
+            2.54e-1, rel=0.01
+        )
+
+    def test_model_matches_literature_for_ppim_and_drisa(self):
+        """Row 14 agreement the thesis highlights."""
+        for name in ("pPIM", "DRISA"):
+            column = self.columns[name]
+            assert column.compute_seconds_workload == pytest.approx(
+                column.literature_latency_s, rel=0.02
+            )
+
+
+class TestSweeps:
+    def test_tops_sweep_is_staircase(self):
+        points = sweep_total_ops("pPIM", 8, 256, list(range(1, 1025, 32)))
+        values = [cycles for _, cycles in points]
+        assert values == sorted(values)
+        assert len(set(values)) < len(values)  # flat steps exist
+
+    def test_pe_sweep_drops_then_flattens(self):
+        points = sweep_pes("UPMEM", 8, 100_000, [1, 10, 100, 1000, 100_000])
+        values = [cycles for _, cycles in points]
+        assert values == sorted(values, reverse=True)
+        assert values[0] / values[1] == pytest.approx(10, rel=0.01)
+
+    def test_empty_sweeps_rejected(self):
+        with pytest.raises(ModelError):
+            sweep_total_ops("pPIM", 8, 256, [])
+        with pytest.raises(ModelError):
+            sweep_pes("pPIM", 8, 100, [])
+
+    def test_serial_waves(self):
+        assert serial_waves(2560, 2560) == 1
+        assert serial_waves(2561, 2560) == 2
+        with pytest.raises(ModelError):
+            serial_waves(0, 10)
+
+
+class TestFig56:
+    def test_crossover(self):
+        """pPIM wins at 8/16 bits; UPMEM wins at 32 (Section 5.2.4)."""
+        comparison = fig_5_6_comparison()
+        for bits in (8, 16):
+            winner = min(comparison, key=lambda a: comparison[a][bits])
+            assert winner == "pPIM"
+        winner_32 = min(comparison, key=lambda a: comparison[a][32])
+        assert winner_32 == "UPMEM"
+
+    def test_operating_point(self):
+        comparison = fig_5_6_comparison()
+        # 40 serial waves at PEs=2560, TOPs=100000
+        assert comparison["pPIM"][8] == 6 * 40
+        assert comparison["UPMEM"][8] == 44 * 40
+
+    def test_cycles_for_matches_table_5_2(self):
+        table = multiplication_cycles_table()
+        assert cycles_for("DRISA", 16, 1, 1) == table["DRISA"][16]
+
+
+class TestTable53:
+    def test_columns_verbatim(self):
+        columns = table_5_3()
+        assert columns["pPIM"].ops_per_pe == 16
+        assert columns["pPIM"].local_ops == 4096
+        assert columns["pPIM"].memory_seconds == pytest.approx(4.24e-3, rel=0.01)
+        assert columns["DRISA"].ops_per_pe == 65536
+        assert columns["DRISA"].local_ops == 2147483648
+        assert columns["DRISA"].memory_seconds == pytest.approx(1.80e-7, rel=0.01)
+        assert columns["UPMEM"].ops_per_pe == 32000
+        assert columns["UPMEM"].local_ops == 81920000
+        assert columns["UPMEM"].memory_seconds == pytest.approx(3.07e-3, rel=0.01)
+
+    def test_section_5_3_1_totals(self):
+        totals = alexnet_total_times()
+        for name, paper in PAPER_ALEXNET_TOTALS_S.items():
+            assert totals[name] == pytest.approx(paper, rel=0.01)
+
+    def test_refill_count(self):
+        assert refill_count(UPMEM, 2.59e9) == 32
+        assert refill_count(PPIM, 2.59e9) == 632325
+
+    def test_architecture_without_memory_params(self):
+        from repro.pimmodel.architectures import LACC
+        from repro.pimmodel.memory_model import memory_column
+
+        with pytest.raises(ModelError):
+            memory_column(LACC)
+
+
+class TestWorkloads:
+    def test_registry(self):
+        assert get_workload("alexnet") is ALEXNET
+        assert ALEXNET.total_ops == pytest.approx(2.59e9)
+        assert EBNN.total_ops == 15_200
+        assert YOLOV3.total_ops == pytest.approx(2.72e10)
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_workload("resnet")
+
+    def test_recovered_counts_cross_check(self):
+        """The recovery argument: DRISA rows confirm the pPIM-derived ops."""
+        drisa = get_arch("DRISA-3T1C")
+        assert analytical_latency(drisa, EBNN) == pytest.approx(8.21e-7, rel=0.01)
+        assert analytical_latency(drisa, YOLOV3) == pytest.approx(1.47, rel=0.01)
+
+
+class TestTable54:
+    def test_every_cell_within_one_percent(self):
+        for row in table_5_4():
+            paper = PAPER_TABLE_5_4[row.architecture]
+            checks = [
+                (row.ebnn_latency_s, paper["ebnn_latency_s"]),
+                (row.ebnn_throughput_per_watt, paper["ebnn_tpw"]),
+                (row.ebnn_throughput_per_mm2, paper["ebnn_tpa"]),
+                (row.yolo_latency_s, paper["yolo_latency_s"]),
+                (row.yolo_throughput_per_watt, paper["yolo_tpw"]),
+                (row.yolo_throughput_per_mm2, paper["yolo_tpa"]),
+            ]
+            for ours, published in checks:
+                assert ours == pytest.approx(published, rel=0.01), row.architecture
+
+    def test_upmem_uses_measured_latency(self):
+        assert latency_for(UPMEM, EBNN) == 1.48e-3
+
+    def test_measured_overrides(self):
+        overrides = {"UPMEM": {"ebnn": 2.0e-3}}
+        row = benchmark_row(UPMEM, measured_overrides=overrides)
+        assert row.ebnn_latency_s == 2.0e-3
+        assert row.yolo_latency_s == 65.0  # untouched
+
+    def test_paper_qualitative_claims(self):
+        """Section 5.4.1: DRISA poorest of the analytical models; pPIM and
+        LACC best frames/W; SCOPE best frames/mm^2; UPMEM lowest power."""
+        rows = {row.architecture: row for row in table_5_4()}
+        analytical = [
+            "pPIM", "DRISA-3T1C", "DRISA-1T1C-NOR",
+            "SCOPE-Vanilla", "SCOPE-H2d", "LACC",
+        ]
+        tpw = {n: rows[n].ebnn_throughput_per_watt for n in analytical}
+        tpa = {n: rows[n].ebnn_throughput_per_mm2 for n in analytical}
+        assert min(tpw, key=tpw.get) == "DRISA-1T1C-NOR"
+        assert max(tpw, key=tpw.get) in ("pPIM", "LACC")
+        assert max(tpa, key=tpa.get) == "SCOPE-Vanilla"
+        assert min(r.power_chip_w for r in rows.values()) == rows["UPMEM"].power_chip_w

@@ -1,0 +1,85 @@
+"""Tests for repro.pimmodel.ppim (Algorithm 3 and the Fig. 5.4 pattern)."""
+
+import pytest
+
+from repro.pimmodel import ppim
+from repro.errors import ModelError
+
+
+class TestAddsPattern:
+    def test_fig_5_4_tent_shape_16_bit(self):
+        assert ppim.adds_pattern(16) == [0, 2, 4, 6, 6, 4, 2, 0]
+
+    def test_fig_5_4_tent_shape_8_bit(self):
+        assert ppim.adds_pattern(8) == [0, 2, 2, 0]
+
+    def test_fig_5_4_tent_shape_32_bit(self):
+        pattern = ppim.adds_pattern(32)
+        assert len(pattern) == 16
+        assert pattern[0] == pattern[-1] == 0
+        assert max(pattern) == 14
+        # rises by 2 then falls by 2
+        rises = [b - a for a, b in zip(pattern, pattern[1:])]
+        assert all(delta in (-2, 0, 2) for delta in rises)
+
+    def test_pattern_symmetry(self):
+        for bits in (8, 16, 32, 64):
+            pattern = ppim.adds_pattern(bits)
+            assert pattern == pattern[::-1]
+
+    def test_column_bounds_checked(self):
+        with pytest.raises(ModelError):
+            ppim.adds_without_carry(0, 8)
+        with pytest.raises(ModelError):
+            ppim.adds_without_carry(9, 8)
+
+
+class TestAlgorithm3:
+    def test_16_bit_internal_adds(self):
+        """The worked value behind Table 5.2's 124: 108 adds + 16 mults."""
+        assert ppim.estimate_internal_adds(8, 8) == 108
+
+    def test_32_bit_internal_adds(self):
+        """Behind Table 5.2's 1016: 952 adds + 64 mults."""
+        assert ppim.estimate_internal_adds(16, 16) == 952
+
+    def test_base_case(self):
+        assert ppim.estimate_internal_adds(0, 4) == 0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ModelError):
+            ppim.estimate_internal_adds(-1, 4)
+        with pytest.raises(ModelError):
+            ppim.estimate_internal_adds(1, 0)
+
+
+class TestMultiplicationEstimate:
+    def test_block_multiplications(self):
+        assert ppim.block_multiplications(8) == 4
+        assert ppim.block_multiplications(16) == 16
+        assert ppim.block_multiplications(32) == 64
+
+    def test_column_count(self):
+        assert ppim.column_count(8) == 4
+        assert ppim.column_count(16) == 8
+
+    def test_table_5_2_estimates_exact(self):
+        """The starred thesis estimates, reproduced exactly."""
+        assert ppim.multiplication_cycles_estimate(16) == 124
+        assert ppim.multiplication_cycles_estimate(32) == 1016
+
+    def test_estimate_grows_superlinearly(self):
+        values = [
+            ppim.multiplication_cycles_estimate(bits)
+            for bits in (8, 16, 32, 64)
+        ]
+        ratios = [b / a for a, b in zip(values, values[1:])]
+        assert all(r > 4 for r in ratios)
+
+    def test_non_multiple_of_block_rejected(self):
+        with pytest.raises(ModelError):
+            ppim.multiplication_cycles_estimate(10)
+        with pytest.raises(ModelError):
+            ppim.column_count(6)
+        with pytest.raises(ModelError):
+            ppim.block_multiplications(2)

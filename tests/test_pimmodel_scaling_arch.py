@@ -1,0 +1,132 @@
+"""Tests for repro.pimmodel.scaling and repro.pimmodel.architectures."""
+
+import pytest
+
+from repro.pimmodel import architectures, scaling
+from repro.errors import ModelError
+
+
+class TestTable52:
+    @pytest.mark.parametrize(
+        "arch,expected",
+        [
+            ("pPIM", {4: 1, 8: 6, 16: 124, 32: 1016}),
+            ("DRISA", {4: 110, 8: 200, 16: 380, 32: 740}),
+            ("UPMEM", {4: 44, 8: 44, 16: 370, 32: 570}),
+        ],
+    )
+    def test_values_verbatim(self, arch, expected):
+        for bits, cycles in expected.items():
+            assert scaling.mult_cycles(arch, bits) == cycles
+
+    def test_drisa_linear_law(self):
+        """The thesis's curve fit: C_op = 20 + 22.5x."""
+        for bits in (4, 8, 16, 32, 64):
+            assert scaling.drisa_mult_cycles(bits) == round(20 + 22.5 * bits)
+
+    def test_ppim_estimates_use_algorithm_3(self):
+        assert scaling.ppim_mult_cycles(16) == 124
+        assert scaling.ppim_mult_cycles(64) > 1016
+
+    def test_upmem_threshold_moves_with_optimization(self):
+        """Eq. 5.8: n = 16 unoptimized, 32 optimized."""
+        assert scaling.upmem_mult_cycles(16, optimized=False) == 370
+        assert scaling.upmem_mult_cycles(16, optimized=True) == 44
+        assert scaling.upmem_mult_cycles(32, optimized=True) == 570
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ModelError):
+            scaling.mult_cycles("TPU", 8)
+
+    def test_bad_widths(self):
+        with pytest.raises(ModelError):
+            scaling.drisa_mult_cycles(0)
+        with pytest.raises(ModelError):
+            scaling.upmem_mult_cycles(64)
+
+
+class TestMacCost:
+    def test_table_5_1_rows(self):
+        """C_op(MAC): pPIM 8, DRISA 211, UPMEM 88."""
+        assert scaling.mac_cost("pPIM").op_cycles == 8
+        assert scaling.mac_cost("DRISA").op_cycles == 211
+        assert scaling.mac_cost("UPMEM").op_cycles == 88
+
+    def test_decomposition(self):
+        cost = scaling.mac_cost("UPMEM")
+        assert cost.pipeline_stages == 11
+        assert cost.accumulate_scale == 4
+        assert cost.multiply_scale == 4
+
+    def test_unknown(self):
+        with pytest.raises(ModelError):
+            scaling.mac_cost("SCOPE")
+
+
+class TestArchitectureRegistry:
+    def test_table_5_4_column_order(self):
+        names = [a.name for a in architectures.TABLE_5_4_ARCHITECTURES]
+        assert names == [
+            "UPMEM", "pPIM", "DRISA-3T1C", "DRISA-1T1C-NOR",
+            "SCOPE-Vanilla", "SCOPE-H2d", "LACC",
+        ]
+
+    def test_power_and_area_verbatim(self):
+        upmem = architectures.get("UPMEM")
+        assert upmem.power_chip_w == pytest.approx(0.96)
+        assert upmem.area_chip_mm2 == pytest.approx(30.0)
+        scope = architectures.get("SCOPE-Vanilla")
+        assert scope.power_chip_w == pytest.approx(176.4)
+        assert scope.area_chip_mm2 == pytest.approx(273.0)
+
+    def test_modeled_tier_has_full_parameters(self):
+        for name in ("UPMEM", "pPIM", "DRISA-3T1C", "DRISA-1T1C-NOR"):
+            arch = architectures.get(name)
+            assert arch.is_modeled
+            assert arch.n_pes and arch.frequency_hz
+
+    def test_rate_tier(self):
+        lacc = architectures.get("LACC")
+        assert not lacc.is_modeled
+        assert lacc.effective_ops_per_second() > 0
+
+    def test_effective_rate_of_modeled(self):
+        ppim = architectures.get("pPIM")
+        assert ppim.effective_ops_per_second() == pytest.approx(
+            256 * 1.25e9 / 8
+        )
+
+    def test_upmem_measured_latencies(self):
+        upmem = architectures.get("UPMEM")
+        assert upmem.measured_latency_s == {"ebnn": 1.48e-3, "yolov3": 65.0}
+
+    def test_workload_normalization(self):
+        upmem = architectures.get("UPMEM")
+        assert upmem.normalization_power_w("ebnn") == pytest.approx(0.12)
+        assert upmem.normalization_power_w("yolov3") == pytest.approx(122.88)
+        assert upmem.normalization_area_mm2("yolov3") == pytest.approx(
+            373 * 3.75
+        )
+
+    def test_default_normalization_is_chip(self):
+        ppim = architectures.get("pPIM")
+        assert ppim.normalization_power_w() == ppim.power_chip_w
+        assert ppim.normalization_area_mm2("ebnn") == ppim.area_chip_mm2
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ModelError):
+            architectures.get("HBM-PIM")
+
+    def test_drisa_nor_slower_than_3t1c(self):
+        """The NOR design needs serial gate chains: ~2.4x more cycles."""
+        ratio = (
+            architectures.DRISA_1T1C_NOR.mac_cycles_8bit
+            / architectures.DRISA_3T1C.mac_cycles_8bit
+        )
+        assert 2.0 < ratio < 3.0
+
+    def test_memory_parameters_of_modeled_pims(self):
+        assert architectures.UPMEM.transfer_seconds == pytest.approx(9.6e-5)
+        assert architectures.UPMEM.buffer_bits == 512_000
+        assert architectures.PPIM.transfer_seconds == pytest.approx(6.7e-9)
+        assert architectures.DRISA_3T1C.buffer_bits == 1_048_576
