@@ -6,6 +6,8 @@ Usage::
     repro run table_5_4        # regenerate one artifact
     repro run all              # regenerate every artifact
     repro attributes           # print the platform sheet (Table 2.1)
+    repro trace ebnn_pim       # run traced, write a Chrome trace JSON
+    repro metrics ebnn_pim     # run, then dump the metrics registry
 """
 
 from __future__ import annotations
@@ -58,6 +60,36 @@ def build_parser() -> argparse.ArgumentParser:
         "path", nargs="?", default="REPRODUCTION_REPORT.md",
         help="output file (default: REPRODUCTION_REPORT.md)",
     )
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one experiment under the tracer and export a Chrome trace",
+    )
+    trace_parser.add_argument(
+        "experiment", help="experiment id (see 'repro list')"
+    )
+    trace_parser.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace-event JSON output path (default: trace.json); "
+        "open it in chrome://tracing or ui.perfetto.dev",
+    )
+    trace_parser.add_argument(
+        "--tree", action="store_true",
+        help="also print the span tree to stdout",
+    )
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="run an experiment (optional), then dump the metrics registry",
+    )
+    metrics_parser.add_argument(
+        "experiment", nargs="?",
+        help="experiment id to run before dumping (omit to dump as-is)",
+    )
+    metrics_parser.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="also write the registry as JSON to PATH",
+    )
     return parser
 
 
@@ -83,6 +115,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "plan":
         return _plan(args)
+    if args.command == "trace":
+        return _trace(args)
+    if args.command == "metrics":
+        return _metrics(args)
     if args.command == "report":
         from repro.experiments.report import write_report
 
@@ -90,6 +126,36 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {count} experiments to {args.path}")
         return 0
     return 1  # pragma: no cover - argparse enforces the command set
+
+
+def _trace(args) -> int:
+    """Run one experiment with tracing enabled; export the Chrome trace."""
+    from repro import telemetry
+
+    with telemetry.tracing() as tracer:
+        print(experiments.run(args.experiment).render())
+    n_events = telemetry.write_chrome_trace(tracer, args.out)
+    print(f"\nwrote {n_events} trace events ({len(tracer)} spans) to "
+          f"{args.out} — open in chrome://tracing or ui.perfetto.dev")
+    if args.tree:
+        print()
+        print(telemetry.render_tree(tracer))
+    return 0
+
+
+def _metrics(args) -> int:
+    """Dump the global metrics registry, optionally after a run."""
+    from repro import telemetry
+
+    if args.experiment:
+        print(experiments.run(args.experiment).render())
+        print()
+    text = telemetry.GLOBAL_METRICS.render_text()
+    print(text if text else "(no metrics recorded)")
+    if args.json_path:
+        telemetry.GLOBAL_METRICS.dump_json(args.json_path)
+        print(f"\nwrote metrics JSON to {args.json_path}")
+    return 0
 
 
 def _plan(args) -> int:

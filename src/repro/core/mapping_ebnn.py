@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.lut import LookupTable, create_lut
 from repro.dpu.attributes import UpmemAttributes
 from repro.dpu.costs import Operation, OptLevel, Precision
@@ -300,14 +301,21 @@ class EbnnPimRunner:
         n_dpus = self.system.dpus_needed_for(n_images, per_dpu)
         wave_capacity = n_dpus * per_dpu
 
-        dpu_set = self.system.allocate(n_dpus)
-        try:
-            waves = [
-                self._run_on(dpu_set, images[start : start + wave_capacity])
-                for start in range(0, n_images, wave_capacity)
-            ]
-        finally:
-            self.system.free(dpu_set)
+        with telemetry.span(
+            "ebnn.run",
+            category="pipeline",
+            n_images=n_images,
+            n_dpus=n_dpus,
+            use_lut=self.use_lut,
+        ):
+            dpu_set = self.system.allocate(n_dpus)
+            try:
+                waves = [
+                    self._run_on(dpu_set, images[start : start + wave_capacity])
+                    for start in range(0, n_images, wave_capacity)
+                ]
+            finally:
+                self.system.free(dpu_set)
         if len(waves) == 1:
             return waves[0]
         return self._merge_waves(waves)
@@ -336,6 +344,11 @@ class EbnnPimRunner:
         )
 
     def _run_on(self, dpu_set, images: np.ndarray) -> EbnnRunResult:
+        with telemetry.span("ebnn.wave", category="pipeline",
+                            n_images=images.shape[0]):
+            return self._run_wave(dpu_set, images)
+
+    def _run_wave(self, dpu_set, images: np.ndarray) -> EbnnRunResult:
         layout = self.layout
         n_images = images.shape[0]
         per_dpu = layout.images_per_dpu
@@ -369,21 +382,27 @@ class EbnnPimRunner:
         )
 
         # Serial host read-out and classification (Section 4.1.3's flow).
-        predictions = np.zeros(n_images, dtype=np.int64)
-        profile = SubroutineProfile()
-        for d, dpu in enumerate(dpu_set):
-            profile = profile.merged_with(dpu.last_result.profile)
-            for i in range(counts[d]):
-                raw = dpu.read_symbol(
-                    "results",
-                    layout.result_bytes_per_image,
-                    offset=i * layout.result_bytes_per_image,
-                )
-                bits = unpack_bits(raw, self.model.config.feature_count)
-                cfg = self.model.config
-                features = bits.reshape(cfg.filters, cfg.pooled_out, cfg.pooled_out)
-                label, _ = self.model.classify_features(features)
-                predictions[d * per_dpu + i] = label
+        host_seconds = self.HOST_SECONDS_PER_IMAGE * n_images
+        with telemetry.span(
+            "ebnn.host_classify", n_images=n_images,
+            host_seconds=host_seconds,
+        ):
+            predictions = np.zeros(n_images, dtype=np.int64)
+            profile = SubroutineProfile()
+            for d, dpu in enumerate(dpu_set):
+                profile = profile.merged_with(dpu.last_result.profile)
+                for i in range(counts[d]):
+                    raw = dpu.read_symbol(
+                        "results",
+                        layout.result_bytes_per_image,
+                        offset=i * layout.result_bytes_per_image,
+                    )
+                    bits = unpack_bits(raw, self.model.config.feature_count)
+                    cfg = self.model.config
+                    features = bits.reshape(cfg.filters, cfg.pooled_out, cfg.pooled_out)
+                    label, _ = self.model.classify_features(features)
+                    predictions[d * per_dpu + i] = label
+            telemetry.advance_sim(host_seconds)
 
         return EbnnRunResult(
             predictions=predictions,
@@ -391,7 +410,7 @@ class EbnnPimRunner:
             n_dpus=len(dpu_set),
             n_images=n_images,
             profile=profile,
-            host_seconds=self.HOST_SECONDS_PER_IMAGE * n_images,
+            host_seconds=host_seconds,
         )
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
 from repro.dpu.costs import Operation, OptLevel, Precision, mram_access_cycles
 from repro.dpu.device import DpuImage
@@ -326,6 +327,31 @@ class YoloPimRunner:
 
         n_dpus = min(shape.m, self.system.n_dpus)
         layout = YoloDpuLayout(shape)
+        with telemetry.span(
+            "yolo.layer",
+            category="pipeline",
+            layer=plan.layer_index,
+            m=shape.m,
+            n=shape.n,
+            k=shape.k,
+            n_dpus=n_dpus,
+        ) as layer_span:
+            c_rows, cycles = self._run_layer(
+                plan, layout, a_q, b_q, shape, n_dpus, divisor
+            )
+            layer_span.set(
+                cycles=cycles,
+                seconds=self.system.attributes.cycles_to_seconds(cycles),
+                policy=AccumulatorPolicy.for_shape(shape).value,
+            )
+
+        # Host-side dequantization: undo quantization scales and divisor.
+        scale = a_params.scale * b_params.scale * divisor / self.alpha
+        return c_rows.astype(np.float32) * np.float32(scale)
+
+    def _run_layer(
+        self, plan, layout, a_q, b_q, shape, n_dpus, divisor
+    ) -> tuple[np.ndarray, float]:
         dpu_set = self.system.allocate(n_dpus)
         try:
             dpu_set.load(layout.build_image(f"yolo_layer_{plan.layer_index}"))
@@ -357,6 +383,11 @@ class YoloPimRunner:
                     )
                     wave_cycles = max(wave_cycles, float(result.cycles))
                 cycles += wave_cycles
+                # Row-DPUs of a wave ran in parallel on the simulated clock;
+                # the layer advances by the slowest row.
+                telemetry.advance_sim(
+                    self.system.attributes.cycles_to_seconds(wave_cycles)
+                )
                 for dpu, row_index in zip(wave, rows):
                     c_rows[row_index] = dpu.read_symbol_array(
                         "c_row", np.int32, shape.n
@@ -374,7 +405,4 @@ class YoloPimRunner:
             )
         finally:
             self.system.free(dpu_set)
-
-        # Host-side dequantization: undo quantization scales and divisor.
-        scale = a_params.scale * b_params.scale * divisor / self.alpha
-        return c_rows.astype(np.float32) * np.float32(scale)
+        return c_rows, cycles

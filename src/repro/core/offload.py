@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.errors import MappingError
 
 
@@ -85,6 +86,23 @@ def partition(
     """
     if not functions:
         raise MappingError("cannot partition an empty profile")
+    with telemetry.span("core.offload.partition", n_functions=len(functions)) as sp:
+        plan = _partition(
+            functions, min_parallel_fraction, min_ops_share, allow_float_on_dpu
+        )
+        sp.set(
+            n_offloaded=len(plan.dpu_functions),
+            ops_fraction=plan.offloaded_ops_fraction(),
+        )
+    return plan
+
+
+def _partition(
+    functions: list[FunctionProfile],
+    min_parallel_fraction: float,
+    min_ops_share: float,
+    allow_float_on_dpu: bool,
+) -> OffloadPlan:
     total_ops = sum(f.total_ops for f in functions) or 1
     plan = OffloadPlan()
     for fn in functions:

@@ -15,8 +15,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
 from repro.errors import MappingError
+
+_M_BREAKDOWN_TOTAL = telemetry.GLOBAL_METRICS.histogram(
+    "breakdown.total_seconds",
+    "end-to-end seconds per assembled LatencyBreakdown",
+    buckets=tuple(10.0 ** e for e in range(-9, 3)),
+)
 
 #: Aggregate host->DIMM link bandwidth (DDR4-2400 class, per the UPMEM
 #: platform's standard DIMM interface).
@@ -68,6 +75,24 @@ class LatencyBreakdown:
             host_seconds=self.host_seconds,
         )
 
+    def emit(self) -> "LatencyBreakdown":
+        """Record this breakdown on the active span (chainable).
+
+        The stage-wise decomposition lands as attributes of the innermost
+        open span, so any traced pipeline gets per-phase numbers for free.
+        """
+        _M_BREAKDOWN_TOTAL.observe(self.total_seconds)
+        tracer = telemetry.current_tracer()
+        if tracer is not None and tracer.current is not None:
+            tracer.current.set(
+                transfer_seconds=self.transfer_seconds,
+                dpu_seconds=self.dpu_seconds,
+                host_seconds=self.host_seconds,
+                total_seconds=self.total_seconds,
+                dpu_fraction=self.dpu_fraction,
+            )
+        return self
+
 
 def transfer_seconds(n_bytes: int, link_bytes_per_second: float = HOST_LINK_BYTES_PER_SECOND) -> float:
     """Host-link time to move ``n_bytes``."""
@@ -90,7 +115,7 @@ def breakdown_from_cycles(
         transfer_seconds=transfer_seconds(transfer_bytes),
         dpu_seconds=attributes.cycles_to_seconds(dpu_cycles),
         host_seconds=host_seconds,
-    )
+    ).emit()
 
 
 def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:

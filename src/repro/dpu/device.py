@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
 from repro.dpu.costs import OptLevel
 from repro.dpu.interpreter import ExecutionResult, Interpreter
@@ -26,6 +27,16 @@ from repro.dpu.isa import Program
 from repro.dpu.kernel import GLOBAL_KERNELS, KernelContext, KernelResult
 from repro.dpu.memory import DmaEngine, Mram, Wram
 from repro.errors import DpuError, LaunchError, SymbolError
+
+_M_DPU_EXECS = telemetry.GLOBAL_METRICS.counter(
+    "dpu.execs", "single-DPU launches (one per Dpu.launch)"
+)
+_M_DPU_INSTRUCTIONS = telemetry.GLOBAL_METRICS.counter(
+    "dpu.instructions", "instructions (or kernel issue slots) retired"
+)
+_M_LAUNCH_CYCLES = telemetry.GLOBAL_METRICS.histogram(
+    "launch.cycles", "per-DPU cycles of each launch"
+)
 
 
 @dataclass(frozen=True)
@@ -195,7 +206,68 @@ class Dpu:
             )
             kernel(context, **kernel_params)
             self.last_result = context.result()
-        return self.last_result
+        result = self.last_result
+        _M_DPU_EXECS.inc()
+        _M_LAUNCH_CYCLES.observe(float(result.cycles))
+        if isinstance(result, ExecutionResult):
+            _M_DPU_INSTRUCTIONS.inc(result.instructions_retired)
+        else:
+            _M_DPU_INSTRUCTIONS.inc(result.issue_slots)
+        tracer = telemetry.current_tracer()
+        if tracer is not None:
+            self._record_exec_span(tracer, result, n_tasklets)
+        return result
+
+    def _record_exec_span(
+        self,
+        tracer: "telemetry.Tracer",
+        result: ExecutionResult | KernelResult,
+        n_tasklets: int,
+    ) -> None:
+        """Emit this launch as parallel spans on the DPU's own track.
+
+        The span sits at the tracer's current simulated cursor without
+        advancing it — all DPUs of a set run concurrently, and the
+        enclosing ``DpuSet.launch`` span advances by the slowest member.
+        """
+        seconds = self.attributes.cycles_to_seconds(float(result.cycles))
+        if isinstance(result, ExecutionResult):
+            exec_span = tracer.add_span(
+                "dpu.exec",
+                track=("dpu", self.dpu_id),
+                sim_duration=seconds,
+                cycles=float(result.cycles),
+                n_tasklets=n_tasklets,
+                instructions=result.instructions_retired,
+                dma_transfers=result.dma_transfers,
+                dma_cycles=result.dma_cycles,
+                dma_bytes=result.dma_bytes,
+                stall_cycles=result.stall_cycles,
+            )
+            for tid, (t_cycles, t_instr) in enumerate(
+                zip(result.per_tasklet_cycles, result.per_tasklet_instructions)
+            ):
+                if not t_instr:
+                    continue
+                tracer.add_span(
+                    "tasklet",
+                    track=("dpu", self.dpu_id, tid),
+                    sim_duration=self.attributes.cycles_to_seconds(t_cycles),
+                    parent=exec_span,
+                    cycles=t_cycles,
+                    instructions=t_instr,
+                )
+        else:
+            tracer.add_span(
+                "dpu.exec",
+                track=("dpu", self.dpu_id),
+                sim_duration=seconds,
+                cycles=float(result.cycles),
+                n_tasklets=n_tasklets,
+                instructions=result.issue_slots,
+                dma_cycles=result.dma_cycles,
+                dma_bytes=result.dma_bytes,
+            )
 
     def last_cycles(self) -> float:
         """Cycles of the most recent launch (0.0 if never launched)."""

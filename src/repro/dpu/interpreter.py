@@ -20,7 +20,7 @@ from repro.dpu import runtime_calls
 from repro.dpu.costs import OptLevel
 from repro.dpu.isa import Instruction, Opcode, Program, LINK_REGISTER
 from repro.dpu.memory import DmaEngine, Iram, Wram
-from repro.dpu.pipeline import TaskletClock, dispatch_interval
+from repro.dpu.pipeline import PIPELINE_STAGES, TaskletClock, dispatch_interval
 from repro.dpu.profiler import PerfCounter, SubroutineProfile
 from repro.dpu.registers import RegisterFile
 from repro.dpu.softint import to_signed
@@ -40,6 +40,9 @@ class ExecutionResult:
     perf_values: dict[int, list[int]] = field(default_factory=dict)
     dma_cycles: int = 0
     dma_transfers: int = 0
+    dma_bytes: int = 0
+    stall_cycles: float = 0.0
+    per_tasklet_cycles: list[float] = field(default_factory=list)
 
     @property
     def n_tasklets(self) -> int:
@@ -92,8 +95,10 @@ class Interpreter:
         self._states = states
         self._mutexes: list[int | None] = [None] * 64
         total_retired = 0
+        total_stall = 0.0
         dma_cycles_before = self.dma.total_cycles
         dma_transfers_before = self.dma.transfer_count
+        dma_bytes_before = self.dma.total_bytes
 
         while True:
             runnable = [
@@ -118,12 +123,20 @@ class Interpreter:
             stall = self._execute(instruction, state, tid, clock)
             clock.dispatch(tid, stall)
             total_retired += 1
+            total_stall += stall
             if total_retired > self.max_instructions:
                 raise DpuLimitError(
                     f"program exceeded {self.max_instructions} retired "
                     f"instructions; runaway loop?"
                 )
 
+        # Per-tasklet completion: the cycle each tasklet's last instruction
+        # leaves the pipeline (mirrors TaskletClock.finish_cycle per lane).
+        interval = dispatch_interval(clock.n_tasklets)
+        per_tasklet_cycles = [
+            ready - interval + PIPELINE_STAGES if count else 0.0
+            for ready, count in zip(clock.next_ready, clock.retired)
+        ]
         return ExecutionResult(
             cycles=clock.finish_cycle(),
             instructions_retired=total_retired,
@@ -135,6 +148,9 @@ class Interpreter:
             },
             dma_cycles=self.dma.total_cycles - dma_cycles_before,
             dma_transfers=self.dma.transfer_count - dma_transfers_before,
+            dma_bytes=self.dma.total_bytes - dma_bytes_before,
+            stall_cycles=total_stall,
+            per_tasklet_cycles=per_tasklet_cycles,
         )
 
     def _execute(

@@ -16,8 +16,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.dpu import costs
 from repro.errors import DpuAlignmentError, DpuMemoryError
+
+_M_DMA_TRANSFERS = telemetry.GLOBAL_METRICS.counter(
+    "dma.transfers", "MRAM<->WRAM DMA transactions across all DPUs"
+)
+_M_DMA_BYTES = telemetry.GLOBAL_METRICS.counter(
+    "dma.bytes", "MRAM<->WRAM DMA bytes across all DPUs"
+)
 
 #: MRAM<->WRAM DMA transfers must be 8-byte aligned (Section 3.2).
 DMA_ALIGNMENT = 8
@@ -223,6 +231,8 @@ class DmaEngine:
         self.total_cycles += cycles
         self.total_bytes += n_bytes
         self.transfer_count += 1
+        _M_DMA_TRANSFERS.value += 1
+        _M_DMA_BYTES.value += n_bytes
         return cycles
 
     def mram_to_wram(self, mram_addr: int, wram_addr: int, n_bytes: int) -> int:

@@ -34,6 +34,10 @@ class Trace:
 
     events: list[TraceEvent] = field(default_factory=list)
     result: ExecutionResult | None = None
+    #: True when the recorder hit its event limit; ``dropped`` counts the
+    #: dispatches that were executed but not recorded.
+    truncated: bool = False
+    dropped: int = 0
 
     def __len__(self) -> int:
         return len(self.events)
@@ -59,6 +63,11 @@ class Trace:
             )
         if len(self.events) > limit:
             lines.append(f"... {len(self.events) - limit} more events")
+        if self.truncated:
+            lines.append(
+                f"[truncated: {self.dropped} later dispatches exceeded the "
+                f"trace limit and were not recorded]"
+            )
         return "\n".join(lines)
 
 
@@ -82,6 +91,9 @@ class TracingInterpreter(Interpreter):
                     text=str(instruction),
                 )
             )
+        else:
+            self.trace.truncated = True
+            self.trace.dropped += 1
         return super()._execute(instruction, state, tid, clock)
 
     def run(self) -> ExecutionResult:

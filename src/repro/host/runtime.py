@@ -18,12 +18,31 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
 from repro.dpu.costs import OptLevel
 from repro.dpu.device import Dpu, DpuImage
 from repro.host import transfer as xfer
 from repro.host.topology import SystemTopology
 from repro.errors import AllocationError, LaunchError
+
+_M_ALLOCATIONS = telemetry.GLOBAL_METRICS.counter(
+    "dpu.allocations", "DpuSystem.allocate calls"
+)
+_M_IN_USE = telemetry.GLOBAL_METRICS.gauge(
+    "dpu.in_use", "DPUs currently allocated across the system"
+)
+_M_LOADS = telemetry.GLOBAL_METRICS.counter(
+    "dpu.loads", "set-wide program loads"
+)
+_M_LAUNCHES = telemetry.GLOBAL_METRICS.counter(
+    "dpu.launches", "set-wide launches (one per DpuSet.launch)"
+)
+_M_LAUNCH_SECONDS = telemetry.GLOBAL_METRICS.histogram(
+    "launch.seconds",
+    "simulated seconds per set-wide launch",
+    buckets=tuple(10.0 ** e for e in range(-9, 3)),
+)
 
 
 @dataclass
@@ -51,6 +70,14 @@ class DpuSet:
         self.attributes = attributes
         self.image: DpuImage | None = None
         self.last_report: LaunchReport | None = None
+        self._freed = False
+
+    def _require_live(self, operation: str) -> None:
+        if self._freed:
+            raise AllocationError(
+                f"{operation} on a freed DPU set (use-after-free); "
+                "allocate a new set from the system"
+            )
 
     def __len__(self) -> int:
         return len(self.dpus)
@@ -67,9 +94,12 @@ class DpuSet:
 
     def load(self, image: DpuImage) -> None:
         """``dpu_load``: load the image onto every DPU of the set."""
-        for dpu in self.dpus:
-            dpu.load(image)
+        self._require_live("load")
+        with telemetry.span("host.load", n_dpus=len(self.dpus), image=image.name):
+            for dpu in self.dpus:
+                dpu.load(image)
         self.image = image
+        _M_LOADS.inc()
 
     # ------------------------------------------------------------------ #
     # transfers (thin wrappers over repro.host.transfer)
@@ -77,14 +107,17 @@ class DpuSet:
 
     def broadcast(self, symbol: str, data, *, offset: int = 0) -> None:
         """Send the same buffer to every DPU (``dpu_copy_to``)."""
+        self._require_live("broadcast")
         xfer.copy_to(self.dpus, symbol, data, symbol_offset=offset)
 
     def scatter(self, symbol: str, rows) -> int:
         """Send a different row to each DPU; returns the padded length."""
+        self._require_live("scatter")
         return xfer.scatter_rows(self.dpus, symbol, rows)
 
     def gather(self, symbol: str, length: int) -> list[bytes]:
         """Read the same symbol back from every DPU."""
+        self._require_live("gather")
         return xfer.gather_rows(self.dpus, symbol, length)
 
     # ------------------------------------------------------------------ #
@@ -99,8 +132,36 @@ class DpuSet:
         **kernel_params,
     ) -> LaunchReport:
         """``dpu_launch`` + sync: run every DPU, report the set's timing."""
+        self._require_live("launch")
         if self.image is None:
             raise LaunchError("launch before load")
+        tracer = telemetry.current_tracer()
+        if tracer is None:
+            # Hot path: no span objects, no kwargs dicts beyond the call's own.
+            report = self._launch_now(n_tasklets, opt_level, kernel_params)
+        else:
+            with tracer.span(
+                "dpu.launch",
+                n_dpus=len(self.dpus),
+                n_tasklets=n_tasklets,
+                image=self.image.name,
+                opt_level=opt_level.name,
+            ) as span:
+                report = self._launch_now(n_tasklets, opt_level, kernel_params)
+                # Every DPU ran in parallel on the simulated clock; the set
+                # advances by its slowest member.
+                tracer.advance_sim(report.seconds)
+                span.set(
+                    cycles=report.cycles,
+                    seconds=report.seconds,
+                    slowest_dpu=self.dpus[report.slowest_dpu].dpu_id,
+                )
+        self.last_report = report
+        return report
+
+    def _launch_now(
+        self, n_tasklets: int, opt_level: OptLevel, kernel_params: dict
+    ) -> LaunchReport:
         per_dpu = []
         for dpu in self.dpus:
             result = dpu.launch(
@@ -115,7 +176,8 @@ class DpuSet:
             n_dpus=len(self.dpus),
             n_tasklets=n_tasklets,
         )
-        self.last_report = report
+        _M_LAUNCHES.inc()
+        _M_LAUNCH_SECONDS.observe(report.seconds)
         return report
 
     def launch_async(
@@ -126,6 +188,7 @@ class DpuSet:
         **kernel_params,
     ) -> "AsyncLaunch":
         """``dpu_launch(..., DPU_ASYNCHRONOUS)``: returns a wait handle."""
+        self._require_live("launch_async")
         return AsyncLaunch(
             self.launch(
                 n_tasklets=n_tasklets, opt_level=opt_level, **kernel_params
@@ -154,18 +217,40 @@ class AsyncLaunch:
 
 
 def wait_all(handles: list[AsyncLaunch]) -> LaunchReport:
-    """Synchronize several asynchronous launches (sets ran in parallel)."""
+    """Synchronize several asynchronous launches (sets ran in parallel).
+
+    All handles must have been launched with the same ``n_tasklets``; a
+    combined report cannot honestly carry a single tasklet count
+    otherwise, so a mismatch raises instead of silently mislabeling.
+    """
     if not handles:
         raise LaunchError("wait_all on an empty handle list")
     reports = [handle.wait() for handle in handles]
+    tasklet_counts = {r.n_tasklets for r in reports}
+    if len(tasklet_counts) > 1:
+        raise LaunchError(
+            "wait_all over launches with mixed tasklet counts "
+            f"{sorted(tasklet_counts)}; wait on each handle separately "
+            "to keep per-set reports"
+        )
     slowest = max(reports, key=lambda r: r.cycles)
-    return LaunchReport(
+    combined = LaunchReport(
         cycles=slowest.cycles,
         seconds=slowest.seconds,
         per_dpu_cycles=[c for r in reports for c in r.per_dpu_cycles],
         n_dpus=sum(r.n_dpus for r in reports),
         n_tasklets=slowest.n_tasklets,
     )
+    tracer = telemetry.current_tracer()
+    if tracer is not None:
+        tracer.add_span(
+            "dpu.wait_all",
+            category="host",
+            n_handles=len(handles),
+            n_dpus=combined.n_dpus,
+            cycles=combined.cycles,
+        )
+    return combined
 
 
 class DpuSystem:
@@ -223,6 +308,17 @@ class DpuSystem:
                 f"unknown allocation policy {policy!r}; use 'pack' or 'spread'"
             )
         self._allocated.update(ids)
+        _M_ALLOCATIONS.inc()
+        _M_IN_USE.set(len(self._allocated))
+        tracer = telemetry.current_tracer()
+        if tracer is not None:
+            tracer.add_span(
+                "dpu.alloc",
+                category="host",
+                n_dpus=n_dpus,
+                policy=policy,
+                first_id=ids[0],
+            )
         return DpuSet([self._dpu(i) for i in ids], self.attributes)
 
     def _spread_ids(self, n_dpus: int) -> list[int]:
@@ -248,10 +344,22 @@ class DpuSystem:
         return ids
 
     def free(self, dpu_set: DpuSet) -> None:
-        """``dpu_free``: return a set's DPUs to the pool."""
+        """``dpu_free``: return a set's DPUs to the pool.
+
+        The handle is poisoned: any later load/transfer/launch through it
+        raises :class:`AllocationError` instead of silently operating on
+        zero DPUs with a stale image.
+        """
+        n_freed = len(dpu_set.dpus)
         for dpu in dpu_set:
             self._allocated.discard(dpu.dpu_id)
         dpu_set.dpus = []
+        dpu_set.image = None
+        dpu_set._freed = True
+        _M_IN_USE.set(len(self._allocated))
+        tracer = telemetry.current_tracer()
+        if tracer is not None:
+            tracer.add_span("dpu.free", category="host", n_dpus=n_freed)
 
     def dpus_needed_for(self, total_items: int, items_per_dpu: int) -> int:
         """How many DPUs a workload of ``total_items`` requires.

@@ -23,9 +23,45 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.dpu.device import Dpu
 from repro.host.alignment import pad_buffer, validate_transfer
 from repro.errors import TransferError
+
+_M_XFER_BYTES = telemetry.GLOBAL_METRICS.counter(
+    "transfer.bytes", "host-link bytes moved, labelled by direction"
+)
+_M_BYTES_TO_DPU = _M_XFER_BYTES.labels(direction="to_dpu")
+_M_BYTES_FROM_DPU = _M_XFER_BYTES.labels(direction="from_dpu")
+_M_BROADCASTS = telemetry.GLOBAL_METRICS.counter(
+    "transfer.broadcasts", "dpu_copy_to broadcasts"
+)
+_M_PUSHES = telemetry.GLOBAL_METRICS.counter(
+    "transfer.pushes", "dpu_push_xfer batch executions"
+)
+
+
+def _record_transfer(name: str, direction: str, total_bytes: int, n_dpus: int) -> None:
+    """Span + sim-clock advance for one serial host-link transfer.
+
+    Host transfers are serial on the link, so the simulated cursor moves
+    by the modeled transfer time (``repro.core.timing.transfer_seconds``,
+    imported lazily — ``repro.core`` imports this module at package init).
+    """
+    tracer = telemetry.current_tracer()
+    if tracer is None:
+        return
+    from repro.core.timing import transfer_seconds
+
+    seconds = transfer_seconds(total_bytes)
+    with tracer.span(
+        name,
+        category="transfer",
+        direction=direction,
+        bytes=total_bytes,
+        n_dpus=n_dpus,
+    ):
+        tracer.advance_sim(seconds)
 
 
 class XferDirection(enum.Enum):
@@ -69,8 +105,12 @@ def copy_to(
     for dpu in dpus:
         dpu.write_symbol(symbol_name, raw, symbol_offset)
     stats = stats or GLOBAL_TRANSFER_STATS
-    stats.bytes_to_dpus += len(raw) * len(dpus)
+    total = len(raw) * len(dpus)
+    stats.bytes_to_dpus += total
     stats.broadcasts += 1
+    _M_BYTES_TO_DPU.inc(total)
+    _M_BROADCASTS.inc()
+    _record_transfer("transfer.broadcast", "to_dpu", total, len(dpus))
 
 
 def copy_from(
@@ -86,6 +126,8 @@ def copy_from(
     raw = dpu.read_symbol(symbol_name, n_bytes, symbol_offset)
     stats = stats or GLOBAL_TRANSFER_STATS
     stats.bytes_from_dpus += n_bytes
+    _M_BYTES_FROM_DPU.inc(n_bytes)
+    _record_transfer("transfer.read", "from_dpu", n_bytes, 1)
     return raw
 
 
@@ -142,6 +184,7 @@ class XferBatch:
         validate_transfer(length, symbol_offset)
         stats = stats or GLOBAL_TRANSFER_STATS
         results: list[bytes] = []
+        n_dpus = len(self._prepared)
         for dpu, buffer in self._prepared:
             if len(buffer) < length:
                 raise TransferError(
@@ -158,6 +201,14 @@ class XferBatch:
                 results.append(data)
                 stats.bytes_from_dpus += length
         stats.pushes += 1
+        _M_PUSHES.inc()
+        total = length * n_dpus
+        if direction is XferDirection.TO_DPU:
+            _M_BYTES_TO_DPU.inc(total)
+            _record_transfer("transfer.push", "to_dpu", total, n_dpus)
+        else:
+            _M_BYTES_FROM_DPU.inc(total)
+            _record_transfer("transfer.push", "from_dpu", total, n_dpus)
         self._prepared.clear()
         return results if direction is XferDirection.FROM_DPU else None
 

@@ -1,0 +1,161 @@
+"""Trace exporters: Chrome trace-event JSON and a human-readable tree.
+
+The Chrome exporter maps the tracer's span forest onto the `Trace Event
+Format <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``chrome://tracing`` and Perfetto:
+
+* the **simulated clock** is the time axis (microseconds of modeled
+  hardware time), so the Gantt chart shows the paper's timing model —
+  serial host transfers, then every DPU of a launch in parallel;
+* each track becomes its own process/thread pair: the host is one
+  process, every DPU is a process of its own whose thread 0 is the whole
+  DPU and threads 1..T are its tasklets.
+
+Spans with zero simulated duration (allocation, program load) export as
+instant events so they stay visible without stretching the axis.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.spans import Span, Tracer
+
+#: pid of the host track; DPU ``i`` gets pid ``_DPU_PID_BASE + i``.
+_HOST_PID = 1
+_DPU_PID_BASE = 1000
+
+
+def _track_ids(track: tuple) -> tuple[int, int, str, str]:
+    """(pid, tid, process name, thread name) for a span track."""
+    if track and track[0] == "dpu":
+        dpu_id = int(track[1])
+        pid = _DPU_PID_BASE + dpu_id
+        if len(track) > 2:  # ("dpu", i, tasklet)
+            tasklet = int(track[2])
+            return pid, 1 + tasklet, f"dpu {dpu_id}", f"tasklet {tasklet}"
+        return pid, 0, f"dpu {dpu_id}", "exec"
+    return _HOST_PID, 0, "host", "host"
+
+
+def _args(span: Span) -> dict:
+    args = {k: v for k, v in span.attributes.items()}
+    args["wall_ms"] = round(span.wall_seconds * 1e3, 6)
+    return args
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """Flatten the tracer's spans into Chrome trace-event dicts."""
+    events: list[dict] = []
+    named_tracks: set[tuple[int, int]] = set()
+
+    def ensure_track(pid: int, tid: int, pname: str, tname: str) -> None:
+        if (pid, -1) not in named_tracks:
+            named_tracks.add((pid, -1))
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": pname},
+            })
+        if (pid, tid) not in named_tracks:
+            named_tracks.add((pid, tid))
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tname},
+            })
+
+    for span in tracer.all_spans():
+        pid, tid, pname, tname = _track_ids(span.track)
+        ensure_track(pid, tid, pname, tname)
+        ts_us = (span.sim_start or 0.0) * 1e6
+        dur_us = span.sim_seconds * 1e6
+        if dur_us <= 0:
+            events.append({
+                "name": span.name, "cat": span.category, "ph": "i",
+                "ts": ts_us, "pid": pid, "tid": tid, "s": "t",
+                "args": _args(span),
+            })
+        else:
+            events.append({
+                "name": span.name, "cat": span.category, "ph": "X",
+                "ts": ts_us, "dur": dur_us, "pid": pid, "tid": tid,
+                "args": _args(span),
+            })
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The full Chrome trace document for :func:`write_chrome_trace`."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated",
+            "description": "repro PIM telemetry (simulated hardware time)",
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    document = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+        fh.write("\n")
+    return len(document["traceEvents"])
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds == 0:
+        return "0"
+    if seconds >= 1:
+        return f"{seconds:.3g} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g} ms"
+    return f"{seconds * 1e6:.3g} us"
+
+
+def _span_line(span: Span) -> str:
+    track = ""
+    if span.track and span.track[0] == "dpu":
+        track = " @" + ".".join(str(part) for part in span.track)
+    attrs = ", ".join(
+        f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in span.attributes.items()
+    )
+    line = (
+        f"{span.name}{track}  "
+        f"[sim {_format_seconds(span.sim_seconds)} | "
+        f"wall {_format_seconds(span.wall_seconds)}]"
+    )
+    return f"{line}  {attrs}" if attrs else line
+
+
+def render_tree(tracer: Tracer, *, max_children: int = 32) -> str:
+    """Indented text rendering of the span forest.
+
+    Sibling lists longer than ``max_children`` (per-DPU spans of a wide
+    launch) are elided in the middle so the listing stays readable.
+    """
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append("  " * depth + _span_line(span))
+        children = span.children
+        if len(children) > max_children:
+            head = children[: max_children // 2]
+            tail = children[-(max_children // 2):]
+            for child in head:
+                walk(child, depth + 1)
+            lines.append(
+                "  " * (depth + 1)
+                + f"... {len(children) - len(head) - len(tail)} more spans ..."
+            )
+            for child in tail:
+                walk(child, depth + 1)
+        else:
+            for child in children:
+                walk(child, depth + 1)
+
+    for root in tracer.roots:
+        walk(root, 0)
+    return "\n".join(lines)

@@ -82,3 +82,24 @@ class TestSubroutineProfile:
         profile.record("__addsf3", 77)
         profile.clear()
         assert profile.total_occurrences() == 0
+
+    def test_merge_same_subroutine_instruction_accounting(self):
+        # Merging must add raw instruction totals, not re-multiply them by
+        # the occurrence counts carried over from each side.
+        a = SubroutineProfile()
+        a.record("__mulsi3", 68, 2)  # 136 instructions
+        b = SubroutineProfile()
+        b.record("__mulsi3", 70, 3)  # 210 instructions
+        merged = a.merged_with(b)
+        record = merged.records["__mulsi3"]
+        assert record.occurrences == 5
+        assert record.instructions == 136 + 210
+
+    def test_merge_is_commutative(self):
+        a = SubroutineProfile()
+        a.record("__mulsi3", 68, 2)
+        b = SubroutineProfile()
+        b.record("__mulsi3", 70, 3)
+        ab = a.merged_with(b).records["__mulsi3"]
+        ba = b.merged_with(a).records["__mulsi3"]
+        assert (ab.occurrences, ab.instructions) == (ba.occurrences, ba.instructions)

@@ -91,3 +91,21 @@ class TestRendering:
         trace = trace_program(assemble("nop\n" * 80 + "halt"))
         listing = trace.render(limit=5)
         assert "76 more events" in listing
+
+
+class TestTruncationFlag:
+    def test_truncated_flag_and_dropped_count(self):
+        trace = trace_program(assemble("nop\n" * 100 + "halt"), trace_limit=10)
+        assert trace.truncated
+        assert trace.dropped == 101 - 10
+
+    def test_untruncated_trace_is_clean(self):
+        trace = trace_program(assemble(LOOP))
+        assert not trace.truncated
+        assert trace.dropped == 0
+
+    def test_render_surfaces_truncation(self):
+        trace = trace_program(assemble("nop\n" * 100 + "halt"), trace_limit=10)
+        listing = trace.render()
+        assert "[truncated: 91 later dispatches" in listing
+        assert "[truncated" not in trace_program(assemble(LOOP)).render()

@@ -80,3 +80,31 @@ class TestOverlapModel:
 
         with pytest.raises(ModelError):
             total_seconds_overlapped(1.0, 1.0, 1.5)
+
+
+class TestWaitAllTaskletMismatch:
+    def test_mixed_tasklet_counts_rejected(self):
+        system = DpuSystem(SMALL)
+        set_a = system.allocate(2)
+        set_b = system.allocate(2)
+        set_a.load(image(10))
+        set_b.load(image(10))
+        handles = [
+            set_a.launch_async(n_tasklets=1),
+            set_b.launch_async(n_tasklets=4),
+        ]
+        with pytest.raises(LaunchError, match="mixed tasklet counts"):
+            wait_all(handles)
+
+    def test_matching_tasklet_counts_combine(self):
+        system = DpuSystem(SMALL)
+        set_a = system.allocate(2)
+        set_b = system.allocate(2)
+        set_a.load(image(10))
+        set_b.load(image(10))
+        combined = wait_all([
+            set_a.launch_async(n_tasklets=4),
+            set_b.launch_async(n_tasklets=4),
+        ])
+        assert combined.n_tasklets == 4
+        assert combined.n_dpus == 4
