@@ -1,0 +1,188 @@
+"""Launch-scaling benchmark: serial vs parallel set-wide launches.
+
+Measures host wall-clock time for a set-wide ``launch()`` at several DPU
+counts, once with ``workers=1`` (the in-process serial path) and once
+through the :mod:`repro.host.parallel` worker pool, and cross-checks the
+determinism contract: both runs must produce identical per-DPU cycle
+counts and identical gathered MRAM digests.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_launch_scaling.py \
+        --sizes 64,128,256,512 --workers 4 --out bench_launch_scaling.json
+
+The JSON written to ``--out`` is the BENCH artifact::
+
+    {"benchmark": "launch_scaling", "workers": 4, "iterations": 2000,
+     "cpu_count": 8, "results": [{"n_dpus": 64, "serial_s": ...,
+     "parallel_s": ..., "speedup": ..., "cycles_match": true}, ...]}
+
+Speedup approaches the worker count only on machines with that many
+cores; on a single-core host the parallel path still runs (and still
+matches bit-for-bit) but pays IPC overhead instead of gaining.  The
+pytest-collected smoke (``bench_launch_scaling``) therefore asserts
+determinism, not speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.dpu.assembler import assemble
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.dpu.device import DpuImage
+from repro.host.runtime import DpuSystem
+
+SEED_BYTES = 8
+
+
+def busy_image(iterations: int) -> DpuImage:
+    """A compute-bound image: mix a per-DPU seed through a busy loop.
+
+    The seed is DMA'd in from the ``seed`` MRAM symbol and the digest
+    DMA'd back out to ``digest``, so a gather observes real per-DPU work
+    and any memory-shipping bug in the parallel engine breaks the
+    determinism cross-check.
+    """
+    program = assemble(
+        f"""
+            li   r1, 0
+            li   r2, 0              # mram addr of 'seed'
+            ldma r1, r2, {SEED_BYTES}
+            lw   r5, r0, 0
+            li   r2, {iterations}
+        loop:
+            addi r3, r3, 7
+            xor  r5, r5, r3
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            sw   r5, r0, 8
+            li   r1, 8
+            li   r2, {SEED_BYTES}   # mram addr of 'digest'
+            sdma r1, r2, {SEED_BYTES}
+            halt
+        """,
+        name="busy_loop",
+    )
+    return DpuImage.from_symbol_layout(
+        "bench_launch_scaling",
+        program=program,
+        layout=[("seed", SEED_BYTES), ("digest", SEED_BYTES)],
+    )
+
+
+def _run_once(
+    n_dpus: int, image: DpuImage, workers: int
+) -> tuple[float, list[float], list[bytes]]:
+    """One full allocate/scatter/launch/gather; returns (wall_s, cycles, digests)."""
+    system = DpuSystem(UPMEM_ATTRIBUTES.scaled(max(n_dpus, 1)))
+    dpu_set = system.allocate(n_dpus)
+    try:
+        dpu_set.load(image)
+        seeds = [
+            (0x9E3779B9 * (i + 1) & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+            for i in range(n_dpus)
+        ]
+        dpu_set.scatter("seed", seeds)
+        start = time.perf_counter()
+        report = dpu_set.launch(workers=workers)
+        wall = time.perf_counter() - start
+        digests = dpu_set.gather("digest", SEED_BYTES)
+        return wall, list(report.per_dpu_cycles), digests
+    finally:
+        system.free(dpu_set)
+
+
+def measure(
+    sizes: list[int], workers: int, iterations: int, repeats: int
+) -> list[dict]:
+    results = []
+    for n_dpus in sizes:
+        image = busy_image(iterations)
+        serial_s = parallel_s = float("inf")
+        serial_state = parallel_state = None
+        for _ in range(repeats):
+            wall, cycles, digests = _run_once(n_dpus, image, workers=1)
+            serial_s = min(serial_s, wall)
+            serial_state = (cycles, digests)
+        for _ in range(repeats):
+            wall, cycles, digests = _run_once(n_dpus, image, workers=workers)
+            parallel_s = min(parallel_s, wall)
+            parallel_state = (cycles, digests)
+        results.append(
+            {
+                "n_dpus": n_dpus,
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "speedup": serial_s / parallel_s if parallel_s else 0.0,
+                "cycles_match": serial_state == parallel_state,
+            }
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", default="64,128,256,512",
+        help="comma-separated DPU counts (default: 64,128,256,512)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes for the parallel runs (default: 4)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=2000,
+        help="busy-loop iterations per DPU (default: 2000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repeats per configuration; best-of is reported",
+    )
+    parser.add_argument(
+        "--out", default="bench_launch_scaling.json",
+        help="BENCH JSON output path",
+    )
+    args = parser.parse_args(argv)
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+
+    results = measure(sizes, args.workers, args.iterations, args.repeats)
+    payload = {
+        "benchmark": "launch_scaling",
+        "workers": args.workers,
+        "iterations": args.iterations,
+        "repeats": args.repeats,
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    print(f"launch scaling — {args.workers} workers, "
+          f"{args.iterations} iterations, cpu_count={os.cpu_count()}")
+    print(f"{'n_dpus':>8}  {'serial_s':>10}  {'parallel_s':>10}  "
+          f"{'speedup':>8}  deterministic")
+    ok = True
+    for row in results:
+        ok &= row["cycles_match"]
+        print(f"{row['n_dpus']:>8}  {row['serial_s']:>10.4f}  "
+              f"{row['parallel_s']:>10.4f}  {row['speedup']:>8.2f}x  "
+              f"{row['cycles_match']}")
+    print(f"wrote {args.out}")
+    if not ok:
+        print("ERROR: parallel results diverged from serial execution")
+        return 1
+    return 0
+
+
+def bench_launch_scaling():
+    """Pytest smoke: a small sweep stays deterministic across workers."""
+    results = measure(sizes=[8], workers=2, iterations=200, repeats=1)
+    assert all(row["cycles_match"] for row in results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

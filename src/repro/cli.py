@@ -28,6 +28,12 @@ def build_parser() -> argparse.ArgumentParser:
             "Hardware' (Das, 2022)"
         ),
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="host worker processes for set-wide DPU launches "
+        "(default: REPRO_WORKERS env or the CPU count; 1 = serial "
+        "in-process execution; results are identical either way)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
@@ -95,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.workers is not None:
+        from repro.host import parallel
+
+        parallel.set_default_workers(args.workers)
     if args.command == "list":
         for experiment_id in experiments.available():
             print(experiment_id)

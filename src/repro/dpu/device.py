@@ -99,6 +99,21 @@ class DpuImage:
         )
 
 
+@dataclass
+class DpuMemoryState:
+    """Picklable snapshot of a DPU's mutable memory: MRAM pages + WRAM.
+
+    This is the unit the parallel launch engine ships across process
+    boundaries: the parent exports each DPU's state into the worker, and
+    the worker exports the mutated state back.  The arrays are shared with
+    the owning DPU (pickling copies them anyway); callers that need an
+    in-process copy must copy explicitly.
+    """
+
+    mram_pages: dict[int, np.ndarray]
+    wram: np.ndarray
+
+
 class Dpu:
     """One simulated DRAM Processing Unit."""
 
@@ -161,6 +176,36 @@ class Dpu:
         dt = np.dtype(dtype)
         raw = self.read_symbol(name, dt.itemsize * count, offset)
         return np.frombuffer(raw, dtype=dt).copy()
+
+    # ------------------------------------------------------------------ #
+    # state shipping (parallel launch engine)
+    # ------------------------------------------------------------------ #
+
+    def export_memory_state(self) -> DpuMemoryState:
+        """Snapshot the mutable memories for shipping to a worker process.
+
+        Only resident MRAM pages travel (the backing store is sparse), so
+        a mostly-empty 64 MB MRAM costs a few KB of IPC.
+        """
+        return DpuMemoryState(
+            mram_pages=self.mram._pages,
+            wram=self.wram._data,
+        )
+
+    def apply_memory_state(self, state: DpuMemoryState) -> None:
+        """Adopt a shipped memory state (the mirror of export).
+
+        The Mram/Wram *objects* are preserved — only their backing buffers
+        are swapped — so the DMA engine and any host-side handles keep
+        working across a parallel launch.
+        """
+        self.mram._pages = state.mram_pages
+        if state.wram.size != self.wram.size:
+            raise DpuError(
+                f"shipped WRAM of {state.wram.size} bytes does not match "
+                f"this DPU's {self.wram.size}"
+            )
+        self.wram._data = state.wram
 
     # ------------------------------------------------------------------ #
     # launch

@@ -293,6 +293,16 @@ class Interpreter:
                     f"tasklet {tid} re-acquired mutex {instruction.imm} "
                     f"it already holds"
                 )
+            elif self._states[holder].halted:
+                # The holder can never release (only the holder may), so
+                # spinning would livelock until the instruction cap and die
+                # with a misleading "runaway loop?" DpuLimitError.  Fault
+                # immediately, naming the mutex and its dead holder.
+                raise DpuFaultError(
+                    f"deadlock: tasklet {tid} spins on mutex "
+                    f"{instruction.imm} held by tasklet {holder}, which "
+                    f"halted without releasing it"
+                )
             else:
                 next_pc = state.pc  # spin: retry this instruction
         elif op is Opcode.RELEASE:

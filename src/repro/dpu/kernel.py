@@ -293,6 +293,9 @@ class KernelRegistry:
     def names(self) -> list[str]:
         return sorted(self._kernels)
 
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
 
 #: Process-wide kernel registry (mapping schemes register their kernels here).
 GLOBAL_KERNELS = KernelRegistry()

@@ -1,0 +1,333 @@
+"""Parallel launch engine: fan a set-wide launch out over worker processes.
+
+Serial host execution of a :class:`~repro.host.runtime.DpuSet` launch costs
+wall-clock time linear in the DPU count, which makes the paper's
+thousand-DPU sweeps (Fig. 4.7 runs up to 2560 DPUs) impractical even
+though every DPU is independent.  This module runs the per-DPU
+interpreter/kernel executions across a ``ProcessPoolExecutor``:
+
+* DPUs are split into one contiguous chunk per worker to amortize IPC;
+* each chunk ships the loaded image plus every member DPU's sparse MRAM
+  pages and WRAM (:class:`~repro.dpu.device.DpuMemoryState`);
+* the worker reconstructs each DPU, launches it, and ships back the
+  mutated memories, the execution result, the DMA counter deltas, and a
+  metrics delta (:meth:`MetricsRegistry.delta_since`);
+* the parent adopts the memories, accumulates DMA counters, merges the
+  metrics delta into ``GLOBAL_METRICS``, and re-emits the per-DPU
+  ``dpu.exec`` spans onto the active tracer — so telemetry from worker
+  processes is never silently lost.
+
+**Determinism contract:** a parallel launch produces bit-identical MRAM
+and WRAM contents, identical cycle counts, and identical metric totals to
+``workers=1`` (only span wall-times differ).  Tests enforce this.
+
+Worker-count resolution: an explicit ``launch(workers=N)`` always wins;
+otherwise the process-wide default applies (``repro --workers`` /
+:func:`set_default_workers`, else the ``REPRO_WORKERS`` environment
+variable, else ``os.cpu_count()``), and small sets — fewer than
+:data:`PARALLEL_MIN_DPUS` members — stay serial because pool IPC would
+cost more than it saves.  ``workers=1`` is the in-process debug path,
+byte-for-byte today's serial execution.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import telemetry
+from repro.dpu.attributes import UpmemAttributes
+from repro.dpu.costs import OptLevel
+from repro.dpu.device import Dpu, DpuImage, DpuMemoryState
+from repro.dpu.kernel import GLOBAL_KERNELS
+from repro.errors import LaunchError
+
+_M_PARALLEL_LAUNCHES = telemetry.GLOBAL_METRICS.counter(
+    "parallel.launches", "set-wide launches that ran through the worker pool"
+)
+_M_PARALLEL_CHUNKS = telemetry.GLOBAL_METRICS.counter(
+    "parallel.chunks", "per-worker chunks dispatched by the parallel engine"
+)
+
+#: Sets smaller than this run serially when the worker count was resolved
+#: implicitly (default/env/CLI): below it, pool IPC dominates any speedup.
+#: Overridable via ``REPRO_PARALLEL_MIN_DPUS``; an explicit
+#: ``launch(workers=N)`` bypasses the threshold entirely.
+PARALLEL_MIN_DPUS = int(os.environ.get("REPRO_PARALLEL_MIN_DPUS", "16"))
+
+#: Process-wide default worker count (None = resolve from env / cpu_count).
+_DEFAULT_WORKERS: int | None = None
+
+
+def default_workers() -> int:
+    """The configured default worker count for set-wide launches."""
+    if _DEFAULT_WORKERS is not None:
+        return _DEFAULT_WORKERS
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise LaunchError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise LaunchError(
+                f"REPRO_WORKERS must be a positive integer, got {value}"
+            )
+        return value
+    return os.cpu_count() or 1
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Set the process-wide default worker count.
+
+    ``None`` restores the environment/cpu_count resolution.  The CLI's
+    ``--workers`` flag lands here.
+    """
+    global _DEFAULT_WORKERS
+    if workers is not None and workers < 1:
+        raise LaunchError(f"worker count must be >= 1, got {workers}")
+    _DEFAULT_WORKERS = workers
+
+
+@contextmanager
+def worker_scope(workers: int | None):
+    """Temporarily override the default worker count for a block."""
+    global _DEFAULT_WORKERS
+    previous = _DEFAULT_WORKERS
+    set_default_workers(workers)
+    try:
+        yield
+    finally:
+        _DEFAULT_WORKERS = previous
+
+
+def resolve_workers(n_dpus: int, workers: int | None = None) -> int:
+    """Effective worker count for one launch over ``n_dpus`` DPUs."""
+    if n_dpus < 1:
+        raise LaunchError(f"launch over {n_dpus} DPUs")
+    if workers is not None:
+        if workers < 1:
+            raise LaunchError(f"worker count must be >= 1, got {workers}")
+        return min(workers, n_dpus)
+    configured = default_workers()
+    if configured <= 1 or n_dpus < PARALLEL_MIN_DPUS:
+        return 1
+    return min(configured, n_dpus)
+
+
+# ---------------------------------------------------------------------- #
+# IPC payloads
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class DpuWorkOrder:
+    """One DPU's share of a chunk: its position, identity, and memories."""
+
+    index: int  # position within the launching set
+    dpu_id: int
+    memory: DpuMemoryState
+
+
+@dataclass
+class ChunkTask:
+    """Everything one worker needs to run its slice of the set."""
+
+    image: DpuImage
+    attributes: UpmemAttributes
+    n_tasklets: int
+    opt_level: OptLevel
+    kernel_params: dict
+    orders: list[DpuWorkOrder]
+    #: The kernel function itself (pickled by reference) so that a spawned
+    #: worker imports the module that registers it; None for program images.
+    kernel_fn: Any = None
+
+
+@dataclass
+class DpuLaunchOutcome:
+    """One DPU's results: mutated memories, timing, and DMA deltas."""
+
+    index: int
+    memory: DpuMemoryState
+    result: Any  # ExecutionResult | KernelResult
+    dma_cycles: int = 0
+    dma_bytes: int = 0
+    dma_transfers: int = 0
+
+
+@dataclass
+class ChunkOutcome:
+    """A worker's reply: per-DPU outcomes plus its metrics delta."""
+
+    outcomes: list[DpuLaunchOutcome] = field(default_factory=list)
+    metrics_delta: dict = field(default_factory=dict)
+
+
+def _run_chunk(task: ChunkTask) -> ChunkOutcome:
+    """Worker entry point: run every DPU of one chunk to completion."""
+    # Workers never own a tracer: a forked worker inherits the parent's
+    # tracer object, but spans recorded into that copy would be silently
+    # lost, so tracing is disabled here and the parent re-emits the
+    # per-DPU spans from the shipped results.
+    telemetry.uninstall_tracer()
+    if task.kernel_fn is not None and task.image.kernel_name not in GLOBAL_KERNELS:
+        GLOBAL_KERNELS.register(task.image.kernel_name, task.kernel_fn)
+    before = telemetry.GLOBAL_METRICS.snapshot()
+    outcomes = []
+    for order in task.orders:
+        dpu = Dpu(order.dpu_id, task.attributes)
+        dpu.apply_memory_state(order.memory)
+        dpu.load(task.image)
+        result = dpu.launch(
+            n_tasklets=task.n_tasklets,
+            opt_level=task.opt_level,
+            **task.kernel_params,
+        )
+        # The fresh DPU's DMA engine started at zero, so its totals ARE
+        # this launch's deltas; the parent accumulates them.
+        outcomes.append(
+            DpuLaunchOutcome(
+                index=order.index,
+                memory=dpu.export_memory_state(),
+                result=result,
+                dma_cycles=dpu.dma.total_cycles,
+                dma_bytes=dpu.dma.total_bytes,
+                dma_transfers=dpu.dma.transfer_count,
+            )
+        )
+    return ChunkOutcome(
+        outcomes=outcomes,
+        metrics_delta=telemetry.GLOBAL_METRICS.delta_since(before),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# executor management
+# ---------------------------------------------------------------------- #
+
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _executor(workers: int) -> ProcessPoolExecutor:
+    """A cached pool of ``workers`` processes (created on first use)."""
+    pool = _EXECUTORS.get(workers)
+    if pool is None:
+        try:
+            # fork is fastest and inherits the kernel/metric registries;
+            # platforms without it (Windows) fall back to the default.
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _EXECUTORS[workers] = pool
+    return pool
+
+
+def shutdown_executors() -> None:
+    """Tear down every cached worker pool (also runs at interpreter exit)."""
+    for pool in _EXECUTORS.values():
+        pool.shutdown(wait=True, cancel_futures=True)
+    _EXECUTORS.clear()
+
+
+atexit.register(shutdown_executors)
+
+
+def chunk_indices(n_items: int, n_chunks: int) -> list[range]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous runs."""
+    if n_items < 0 or n_chunks < 1:
+        raise LaunchError(
+            f"cannot chunk {n_items} items into {n_chunks} chunks"
+        )
+    base, extra = divmod(n_items, n_chunks)
+    chunks: list[range] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+# ---------------------------------------------------------------------- #
+# the engine
+# ---------------------------------------------------------------------- #
+
+
+def launch_parallel(
+    dpu_set,
+    *,
+    n_tasklets: int,
+    opt_level: OptLevel,
+    kernel_params: dict,
+    workers: int,
+) -> list:
+    """Run every DPU of ``dpu_set`` across ``workers`` processes.
+
+    Returns the per-DPU results in set order, with each parent-side DPU
+    updated in place (memories, DMA counters, ``last_result``) exactly as
+    serial execution would have left it.  Worker metric deltas are merged
+    into ``GLOBAL_METRICS`` and per-DPU spans re-emitted on the active
+    tracer before returning.
+    """
+    dpus = dpu_set.dpus
+    image = dpu_set.image
+    kernel_fn = (
+        GLOBAL_KERNELS.get(image.kernel_name)
+        if image.kernel_name is not None
+        else None
+    )
+    tasks = []
+    for chunk in chunk_indices(len(dpus), workers):
+        orders = [
+            DpuWorkOrder(
+                index=i,
+                dpu_id=dpus[i].dpu_id,
+                memory=dpus[i].export_memory_state(),
+            )
+            for i in chunk
+        ]
+        tasks.append(
+            ChunkTask(
+                image=image,
+                attributes=dpu_set.attributes,
+                n_tasklets=n_tasklets,
+                opt_level=opt_level,
+                kernel_params=kernel_params,
+                orders=orders,
+                kernel_fn=kernel_fn,
+            )
+        )
+    pool = _executor(workers)
+    futures = [pool.submit(_run_chunk, task) for task in tasks]
+    # Collect in submission order so failures surface deterministically.
+    chunk_outcomes = [future.result() for future in futures]
+
+    results: list = [None] * len(dpus)
+    for chunk_outcome in chunk_outcomes:
+        telemetry.GLOBAL_METRICS.merge_delta(chunk_outcome.metrics_delta)
+        for outcome in chunk_outcome.outcomes:
+            dpu = dpus[outcome.index]
+            dpu.apply_memory_state(outcome.memory)
+            dpu.dma.total_cycles += outcome.dma_cycles
+            dpu.dma.total_bytes += outcome.dma_bytes
+            dpu.dma.transfer_count += outcome.dma_transfers
+            dpu.last_result = outcome.result
+            results[outcome.index] = outcome.result
+    tracer = telemetry.current_tracer()
+    if tracer is not None:
+        for index, result in enumerate(results):
+            dpus[index]._record_exec_span(tracer, result, n_tasklets)
+    _M_PARALLEL_LAUNCHES.inc()
+    _M_PARALLEL_CHUNKS.inc(len(tasks))
+    return results

@@ -8,8 +8,15 @@ API, launch, synchronize, and read results back.
 Launches across a set are *parallel in simulated time*: every DPU runs the
 same image on its own data (the SIMD-across-DIMMs model of Section 3.1),
 so the set's elapsed time is the maximum over its members.  Host-side
-Python executes them sequentially, but all reported latencies come from
-the simulated clocks.
+Python can also execute them in parallel across worker processes (see
+:mod:`repro.host.parallel` and the ``workers=`` launch argument) with
+results bit-identical to serial execution; all reported latencies come
+from the simulated clocks either way.
+
+Asynchronous launches (``launch_async``) do **not** advance the simulated
+cursor when issued: the first ``wait()`` on a handle advances it by that
+launch's seconds, and ``wait_all`` advances it once by the *slowest*
+handle's seconds — N overlapping launches cost max, not sum.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro import telemetry
 from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
 from repro.dpu.costs import OptLevel
 from repro.dpu.device import Dpu, DpuImage
+from repro.host import parallel
 from repro.host import transfer as xfer
 from repro.host.topology import SystemTopology
 from repro.errors import AllocationError, LaunchError
@@ -129,16 +137,62 @@ class DpuSet:
         *,
         n_tasklets: int = 1,
         opt_level: OptLevel = OptLevel.O0,
+        workers: int | None = None,
         **kernel_params,
     ) -> LaunchReport:
-        """``dpu_launch`` + sync: run every DPU, report the set's timing."""
+        """``dpu_launch`` + sync: run every DPU, report the set's timing.
+
+        ``workers`` selects how many host processes execute the per-DPU
+        runs: 1 is the in-process serial path, >1 fans out through
+        :mod:`repro.host.parallel` with bit-identical results.  ``None``
+        resolves the configured default (``repro --workers`` /
+        ``REPRO_WORKERS`` / cpu count), which only engages the pool for
+        sets of at least ``parallel.PARALLEL_MIN_DPUS`` DPUs.
+        """
+        return self._launch(
+            n_tasklets, opt_level, kernel_params,
+            workers=workers, advance_sim=True,
+        )
+
+    def launch_async(
+        self,
+        *,
+        n_tasklets: int = 1,
+        opt_level: OptLevel = OptLevel.O0,
+        workers: int | None = None,
+        **kernel_params,
+    ) -> "AsyncLaunch":
+        """``dpu_launch(..., DPU_ASYNCHRONOUS)``: returns a wait handle.
+
+        The simulated cursor is *not* advanced at issue time — overlapping
+        async launches must not serialize simulated time.  The first
+        ``wait()`` on the handle advances it (or ``wait_all`` advances once
+        by the slowest handle).
+        """
+        report = self._launch(
+            n_tasklets, opt_level, kernel_params,
+            workers=workers, advance_sim=False,
+        )
+        return AsyncLaunch(report)
+
+    def _launch(
+        self,
+        n_tasklets: int,
+        opt_level: OptLevel,
+        kernel_params: dict,
+        *,
+        workers: int | None,
+        advance_sim: bool,
+    ) -> LaunchReport:
         self._require_live("launch")
         if self.image is None:
             raise LaunchError("launch before load")
+        n_workers = parallel.resolve_workers(len(self.dpus), workers)
         tracer = telemetry.current_tracer()
         if tracer is None:
             # Hot path: no span objects, no kwargs dicts beyond the call's own.
-            report = self._launch_now(n_tasklets, opt_level, kernel_params)
+            report = self._launch_now(n_tasklets, opt_level, kernel_params,
+                                      n_workers)
         else:
             with tracer.span(
                 "dpu.launch",
@@ -146,11 +200,16 @@ class DpuSet:
                 n_tasklets=n_tasklets,
                 image=self.image.name,
                 opt_level=opt_level.name,
+                workers=n_workers,
+                asynchronous=not advance_sim,
             ) as span:
-                report = self._launch_now(n_tasklets, opt_level, kernel_params)
-                # Every DPU ran in parallel on the simulated clock; the set
-                # advances by its slowest member.
-                tracer.advance_sim(report.seconds)
+                report = self._launch_now(n_tasklets, opt_level, kernel_params,
+                                          n_workers)
+                if advance_sim:
+                    # Every DPU ran in parallel on the simulated clock; the
+                    # set advances by its slowest member.  Async launches
+                    # advance at wait time instead.
+                    tracer.advance_sim(report.seconds)
                 span.set(
                     cycles=report.cycles,
                     seconds=report.seconds,
@@ -160,14 +219,28 @@ class DpuSet:
         return report
 
     def _launch_now(
-        self, n_tasklets: int, opt_level: OptLevel, kernel_params: dict
+        self,
+        n_tasklets: int,
+        opt_level: OptLevel,
+        kernel_params: dict,
+        workers: int = 1,
     ) -> LaunchReport:
-        per_dpu = []
-        for dpu in self.dpus:
-            result = dpu.launch(
-                n_tasklets=n_tasklets, opt_level=opt_level, **kernel_params
+        if workers > 1 and len(self.dpus) > 1:
+            results = parallel.launch_parallel(
+                self,
+                n_tasklets=n_tasklets,
+                opt_level=opt_level,
+                kernel_params=kernel_params,
+                workers=workers,
             )
-            per_dpu.append(float(result.cycles))
+            per_dpu = [float(result.cycles) for result in results]
+        else:
+            per_dpu = []
+            for dpu in self.dpus:
+                result = dpu.launch(
+                    n_tasklets=n_tasklets, opt_level=opt_level, **kernel_params
+                )
+                per_dpu.append(float(result.cycles))
         cycles = max(per_dpu)
         report = LaunchReport(
             cycles=cycles,
@@ -180,21 +253,6 @@ class DpuSet:
         _M_LAUNCH_SECONDS.observe(report.seconds)
         return report
 
-    def launch_async(
-        self,
-        *,
-        n_tasklets: int = 1,
-        opt_level: OptLevel = OptLevel.O0,
-        **kernel_params,
-    ) -> "AsyncLaunch":
-        """``dpu_launch(..., DPU_ASYNCHRONOUS)``: returns a wait handle."""
-        self._require_live("launch_async")
-        return AsyncLaunch(
-            self.launch(
-                n_tasklets=n_tasklets, opt_level=opt_level, **kernel_params
-            )
-        )
-
 
 class AsyncLaunch:
     """Handle for a launch issued in the SDK's asynchronous mode.
@@ -204,16 +262,35 @@ class AsyncLaunch:
     only observable through :meth:`wait`, and several outstanding launches
     can be synchronized together with :func:`wait_all`, whose combined
     time is the slowest set — the rank-level overlap a host exploits.
+
+    Simulated-time discipline: issuing the launch did **not** move the
+    tracer's cursor; the first :meth:`wait` advances it by this launch's
+    seconds.  :func:`wait_all` bypasses the per-handle advance and moves
+    the cursor once by the slowest handle, so N overlapping launches cost
+    ``max`` rather than ``sum`` of their durations.
     """
 
     def __init__(self, report: LaunchReport) -> None:
         self._report = report
         self.done = False
 
-    def wait(self) -> LaunchReport:
-        """``dpu_sync``: block until the launch completes."""
+    def _collect(self) -> LaunchReport:
+        """Mark the handle synchronized without touching the sim clock."""
         self.done = True
         return self._report
+
+    def wait(self) -> LaunchReport:
+        """``dpu_sync``: block until the launch completes.
+
+        The first wait advances the simulated cursor by the launch's
+        seconds; repeated waits return the same report without advancing
+        again.
+        """
+        first = not self.done
+        report = self._collect()
+        if first:
+            telemetry.advance_sim(report.seconds)
+        return report
 
 
 def wait_all(handles: list[AsyncLaunch]) -> LaunchReport:
@@ -222,10 +299,14 @@ def wait_all(handles: list[AsyncLaunch]) -> LaunchReport:
     All handles must have been launched with the same ``n_tasklets``; a
     combined report cannot honestly carry a single tasklet count
     otherwise, so a mismatch raises instead of silently mislabeling.
+
+    The simulated cursor advances exactly once, by the slowest handle's
+    seconds: the sets overlapped, so the combined launch time is the max
+    over the handles, never their sum.
     """
     if not handles:
         raise LaunchError("wait_all on an empty handle list")
-    reports = [handle.wait() for handle in handles]
+    reports = [handle._collect() for handle in handles]
     tasklet_counts = {r.n_tasklets for r in reports}
     if len(tasklet_counts) > 1:
         raise LaunchError(
@@ -246,10 +327,12 @@ def wait_all(handles: list[AsyncLaunch]) -> LaunchReport:
         tracer.add_span(
             "dpu.wait_all",
             category="host",
+            sim_duration=combined.seconds,
             n_handles=len(handles),
             n_dpus=combined.n_dpus,
             cycles=combined.cycles,
         )
+        tracer.advance_sim(combined.seconds)
     return combined
 
 
@@ -348,8 +431,15 @@ class DpuSystem:
 
         The handle is poisoned: any later load/transfer/launch through it
         raises :class:`AllocationError` instead of silently operating on
-        zero DPUs with a stale image.
+        zero DPUs with a stale image.  Freeing the same handle twice is a
+        host bug (the second free used to be a silent no-op that still
+        emitted a ``dpu.free`` span) and raises :class:`AllocationError`.
         """
+        if dpu_set._freed:
+            raise AllocationError(
+                "double free of a DPU set; the handle was already returned "
+                "to the pool"
+            )
         n_freed = len(dpu_set.dpus)
         for dpu in dpu_set:
             self._allocated.discard(dpu.dpu_id)

@@ -13,6 +13,13 @@ Labelled children are cached per label combination
 nothing after the first.  ``render_text()`` gives a plain-text dump (the
 ``repro metrics`` CLI output) and ``as_dict()`` / ``dump_json()`` the
 machine-readable form.
+
+The registry also supports a snapshot/delta/merge protocol for the
+parallel launch engine: a worker process takes ``snapshot()`` before
+running its chunk, computes ``delta_since(snapshot)`` after, and ships the
+(picklable) delta back; the parent calls ``merge_delta(delta)`` so worker
+observations land in the parent registry exactly as if they had happened
+in-process.
 """
 
 from __future__ import annotations
@@ -65,6 +72,18 @@ class _Metric:
         for child in self._children.values():
             yield from child.walk()
 
+    # -- snapshot/delta/merge protocol (overridden per kind) ----------- #
+
+    def _snapshot_state(self):
+        raise NotImplementedError
+
+    @staticmethod
+    def _delta_state(after, before):
+        raise NotImplementedError
+
+    def _merge_state(self, delta) -> None:
+        raise NotImplementedError
+
 
 class Counter(_Metric):
     """A monotonically increasing count."""
@@ -88,6 +107,16 @@ class Counter(_Metric):
 
     def _as_value(self):
         return self.value
+
+    def _snapshot_state(self):
+        return self.value
+
+    @staticmethod
+    def _delta_state(after, before):
+        return after - (before or 0)
+
+    def _merge_state(self, delta) -> None:
+        self.value += delta
 
 
 class Gauge(_Metric):
@@ -116,6 +145,16 @@ class Gauge(_Metric):
 
     def _as_value(self):
         return self.value
+
+    def _snapshot_state(self):
+        return self.value
+
+    @staticmethod
+    def _delta_state(after, before):
+        return after - (before or 0)
+
+    def _merge_state(self, delta) -> None:
+        self.value += delta
 
 
 class Histogram(_Metric):
@@ -181,6 +220,51 @@ class Histogram(_Metric):
             yield (f"{self.name}{suffix}.min", self.min)
             yield (f"{self.name}{suffix}.max", self.max)
 
+    def _snapshot_state(self):
+        return {
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @staticmethod
+    def _delta_state(after, before):
+        if before is None:
+            return dict(after)
+        # min/max carry the *after* values: the parent merges them with
+        # min()/max(), which stays correct because the parent's own
+        # min/max can only have moved further out since the snapshot.
+        return {
+            "bucket_counts": [
+                a - b
+                for a, b in zip(after["bucket_counts"], before["bucket_counts"])
+            ],
+            "count": after["count"] - before["count"],
+            "sum": after["sum"] - before["sum"],
+            "min": after["min"],
+            "max": after["max"],
+        }
+
+    def _merge_state(self, delta) -> None:
+        if not delta["count"]:
+            return
+        if len(delta["bucket_counts"]) != len(self.bucket_counts):
+            raise MetricsError(
+                f"histogram {self.name!r}: cannot merge a delta with "
+                f"{len(delta['bucket_counts'])} buckets into "
+                f"{len(self.bucket_counts)}"
+            )
+        for i, n in enumerate(delta["bucket_counts"]):
+            self.bucket_counts[i] += n
+        self.count += delta["count"]
+        self.sum += delta["sum"]
+        if delta["min"] is not None:
+            self.min = delta["min"] if self.min is None else min(self.min, delta["min"])
+        if delta["max"] is not None:
+            self.max = delta["max"] if self.max is None else max(self.max, delta["max"])
+
     def _as_value(self):
         return {
             "count": self.count,
@@ -242,6 +326,87 @@ class MetricsRegistry:
         for metric in self._metrics.values():
             for node in metric.walk():
                 node._reset()
+
+    # ------------------------------------------------------------------ #
+    # snapshot / delta / merge (the parallel-launch worker protocol)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _node_snapshot(metric: _Metric) -> dict:
+        node = {
+            "kind": metric.kind,
+            "state": metric._snapshot_state(),
+            "children": {
+                key: MetricsRegistry._node_snapshot(child)
+                for key, child in metric._children.items()
+            },
+        }
+        if isinstance(metric, Histogram):
+            node["buckets"] = metric.buckets
+        return node
+
+    @staticmethod
+    def _node_delta(metric: _Metric, before: dict | None) -> dict:
+        before_children = before["children"] if before else {}
+        node = {
+            "kind": metric.kind,
+            "state": type(metric)._delta_state(
+                metric._snapshot_state(),
+                before["state"] if before else None,
+            ),
+            "children": {
+                key: MetricsRegistry._node_delta(child, before_children.get(key))
+                for key, child in metric._children.items()
+            },
+        }
+        if isinstance(metric, Histogram):
+            node["buckets"] = metric.buckets
+        return node
+
+    @staticmethod
+    def _node_merge(metric: _Metric, delta: dict) -> None:
+        metric._merge_state(delta["state"])
+        for key, child_delta in delta["children"].items():
+            MetricsRegistry._node_merge(metric.labels(**dict(key)), child_delta)
+
+    def snapshot(self) -> dict:
+        """A picklable snapshot of every metric (labelled children included)."""
+        return {
+            name: self._node_snapshot(metric)
+            for name, metric in self._metrics.items()
+        }
+
+    def delta_since(self, snapshot: dict) -> dict:
+        """What changed since ``snapshot``, in a mergeable, picklable form.
+
+        Metrics registered after the snapshot appear with their full value.
+        """
+        return {
+            name: self._node_delta(metric, snapshot.get(name))
+            for name, metric in self._metrics.items()
+        }
+
+    def merge_delta(self, delta: dict) -> None:
+        """Fold a worker's :meth:`delta_since` result into this registry.
+
+        Counters and gauges add; histograms add counts/sums per bucket and
+        widen min/max.  Metrics unknown to this registry are registered
+        first, so nothing a worker observed is silently dropped.
+        """
+        for name, node in delta.items():
+            metric = self._metrics.get(name)
+            if metric is None:
+                if node["kind"] == "counter":
+                    metric = self.counter(name)
+                elif node["kind"] == "gauge":
+                    metric = self.gauge(name)
+                elif node["kind"] == "histogram":
+                    metric = self.histogram(name, buckets=tuple(node["buckets"]))
+                else:
+                    raise MetricsError(
+                        f"cannot merge unknown metric kind {node['kind']!r}"
+                    )
+            self._node_merge(metric, node)
 
     # ------------------------------------------------------------------ #
     # dumps

@@ -159,3 +159,66 @@ class TestBarrier:
         """
         _, wram = run(source, n_tasklets=4)
         assert wram.read_array(0, np.uint32, 4).tolist() == [7, 7, 7, 7]
+
+
+class TestMutexDeadlock:
+    """A tasklet halting while holding a mutex must fault, not livelock."""
+
+    def test_halt_while_holding_faults_immediately(self):
+        source = """
+                tid  r1
+                bne  r1, r0, worker
+                acquire 0
+                halt                 # tasklet 0 exits without releasing
+            worker:
+                acquire 0
+                release 0
+                halt
+        """
+        with pytest.raises(DpuFaultError, match="mutex 0") as excinfo:
+            run(source, n_tasklets=2)
+        message = str(excinfo.value)
+        assert "halted" in message
+        assert "tasklet 0" in message
+
+    def test_fault_is_fast_not_a_limit_error(self):
+        """The fault fires at detection, far below the instruction limit."""
+        source = """
+                tid  r1
+                bne  r1, r0, worker
+                acquire 5
+                halt
+            worker:
+                acquire 5
+                halt
+        """
+        with pytest.raises(DpuFaultError, match="mutex 5"):
+            run(source, n_tasklets=4)
+
+    def test_release_before_halt_stays_clean(self):
+        """The non-buggy version of the same program completes."""
+        source = """
+                tid  r1
+                bne  r1, r0, worker
+                acquire 0
+                release 0
+                halt
+            worker:
+                acquire 0
+                release 0
+                halt
+        """
+        result, _ = run(source, n_tasklets=4)
+        assert result.instructions_retired > 0
+
+    def test_waiters_tolerate_live_holder(self):
+        """Spinning on a mutex whose holder is alive is not a deadlock."""
+        source = """
+                acquire 2
+                nop
+                nop
+                release 2
+                halt
+        """
+        result, _ = run(source, n_tasklets=6)
+        assert result.cycles > 0

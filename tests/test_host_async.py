@@ -108,3 +108,69 @@ class TestWaitAllTaskletMismatch:
         ])
         assert combined.n_tasklets == 4
         assert combined.n_dpus == 4
+
+
+class TestAsyncSimTime:
+    """Async launches advance the simulated cursor at wait time, once."""
+
+    def setup_method(self):
+        from repro import telemetry
+
+        self.telemetry = telemetry
+
+    def test_issue_does_not_advance_cursor(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(2)
+        dpu_set.load(image(50))
+        with self.telemetry.tracing() as tracer:
+            handle = dpu_set.launch_async()
+            assert tracer.sim_now == 0.0
+            report = handle.wait()
+            assert tracer.sim_now == pytest.approx(report.seconds)
+
+    def test_wait_advances_exactly_once(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(2)
+        dpu_set.load(image(50))
+        with self.telemetry.tracing() as tracer:
+            handle = dpu_set.launch_async()
+            report = handle.wait()
+            handle.wait()
+            handle.wait()
+            assert tracer.sim_now == pytest.approx(report.seconds)
+
+    def test_wait_all_advances_by_slowest_not_sum(self):
+        """Two overlapping async launches cost max(), never sum()."""
+        system = DpuSystem(SMALL)
+        fast_set = system.allocate(2)
+        slow_set = system.allocate(2)
+        fast_set.load(image(5))
+        slow_set.load(image(500))
+        with self.telemetry.tracing() as tracer:
+            handles = [fast_set.launch_async(), slow_set.launch_async()]
+            assert tracer.sim_now == 0.0
+            combined = wait_all(handles)
+            slow_seconds = SMALL.cycles_to_seconds(501.0 * 11)
+            assert combined.seconds == pytest.approx(slow_seconds)
+            assert tracer.sim_now == pytest.approx(slow_seconds)
+
+    def test_wait_all_then_wait_does_not_double_advance(self):
+        system = DpuSystem(SMALL)
+        set_a = system.allocate(2)
+        set_b = system.allocate(2)
+        set_a.load(image(10))
+        set_b.load(image(10))
+        with self.telemetry.tracing() as tracer:
+            handles = [set_a.launch_async(), set_b.launch_async()]
+            combined = wait_all(handles)
+            for handle in handles:
+                handle.wait()  # already synchronized: must be a no-op
+            assert tracer.sim_now == pytest.approx(combined.seconds)
+
+    def test_sync_launch_still_advances_at_issue(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(2)
+        dpu_set.load(image(50))
+        with self.telemetry.tracing() as tracer:
+            report = dpu_set.launch()
+            assert tracer.sim_now == pytest.approx(report.seconds)

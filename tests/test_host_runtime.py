@@ -189,3 +189,34 @@ class TestSpreadPolicy:
     def test_unknown_policy_rejected(self):
         with pytest.raises(AllocationError, match="unknown allocation policy"):
             DpuSystem(SMALL).allocate(1, policy="scatter")
+
+
+class TestDoubleFree:
+    def test_double_free_raises(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(4)
+        system.free(dpu_set)
+        with pytest.raises(AllocationError, match="double free"):
+            system.free(dpu_set)
+
+    def test_double_free_does_not_corrupt_the_pool(self):
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(4)
+        system.free(dpu_set)
+        with pytest.raises(AllocationError):
+            system.free(dpu_set)
+        assert system.n_free == SMALL.n_dpus
+        assert len(system.allocate(SMALL.n_dpus)) == SMALL.n_dpus
+
+    def test_double_free_emits_no_span(self):
+        """The failed free must not pretend work happened in the trace."""
+        from repro import telemetry
+
+        system = DpuSystem(SMALL)
+        dpu_set = system.allocate(2)
+        with telemetry.tracing() as tracer:
+            system.free(dpu_set)
+            with pytest.raises(AllocationError):
+                system.free(dpu_set)
+        frees = [s for s in tracer.all_spans() if s.name == "dpu.free"]
+        assert len(frees) == 1
