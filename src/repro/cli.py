@@ -34,6 +34,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: REPRO_WORKERS env or the CPU count; 1 = serial "
         "in-process execution; results are identical either way)",
     )
+    parser.add_argument(
+        "--fault-rate", type=float, default=None, metavar="P",
+        help="per-DPU probability of an injected execution fault "
+        "(deterministic per seed; see repro.faults)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="seed for the fault-injection plan; the same seed "
+        "reproduces the same fault sites (default: 0)",
+    )
+    parser.add_argument(
+        "--fault-policy", choices=["raise", "isolate", "retry"],
+        default=None,
+        help="what a set-wide launch does with a faulted DPU "
+        "(default: retry; healthy DPUs always complete)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
@@ -105,6 +121,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.host import parallel
 
         parallel.set_default_workers(args.workers)
+    if (
+        args.fault_rate is not None
+        or args.fault_seed is not None
+        or args.fault_policy is not None
+    ):
+        from repro import faults
+
+        faults.install_plan(faults.FaultPlan(
+            seed=args.fault_seed or 0,
+            fault_rate=args.fault_rate or 0.0,
+            default_policy=args.fault_policy or "retry",
+        ))
     if args.command == "list":
         for experiment_id in experiments.available():
             print(experiment_id)

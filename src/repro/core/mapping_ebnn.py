@@ -333,6 +333,8 @@ class EbnnPimRunner:
             per_dpu_cycles=slowest.dpu_report.per_dpu_cycles,
             n_dpus=slowest.dpu_report.n_dpus,
             n_tasklets=slowest.dpu_report.n_tasklets,
+            fault_policy=slowest.dpu_report.fault_policy,
+            outcomes=[o for w in waves for o in w.dpu_report.outcomes],
         )
         return EbnnRunResult(
             predictions=np.concatenate([w.predictions for w in waves]),
@@ -390,7 +392,11 @@ class EbnnPimRunner:
             predictions = np.zeros(n_images, dtype=np.int64)
             profile = SubroutineProfile()
             for d, dpu in enumerate(dpu_set):
-                profile = profile.merged_with(dpu.last_result.profile)
+                # A DPU isolated by the fault policy has no result for
+                # this launch; its (restored, pre-launch) results symbol
+                # still classifies, just from zeroed features.
+                if dpu.last_result is not None:
+                    profile = profile.merged_with(dpu.last_result.profile)
                 for i in range(counts[d]):
                     raw = dpu.read_symbol(
                         "results",

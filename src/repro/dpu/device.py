@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
 from repro.dpu.costs import OptLevel
 from repro.dpu.interpreter import ExecutionResult, Interpreter
@@ -216,6 +216,7 @@ class Dpu:
         *,
         n_tasklets: int = 1,
         opt_level: OptLevel = OptLevel.O0,
+        fault_attempt: int | None = None,
         **kernel_params,
     ) -> ExecutionResult | KernelResult:
         """Run the loaded image to completion and return its result.
@@ -223,6 +224,11 @@ class Dpu:
         Program images run through the instruction interpreter; kernel
         images run through the cycle-accounted Python path, receiving
         ``kernel_params`` after the context argument.
+
+        ``fault_attempt`` is the injection gate: set-level launches pass
+        the attempt number so an installed :class:`repro.faults.FaultPlan`
+        may make this DPU fault or hang; direct launches leave it ``None``
+        and are never injected.
         """
         if self.image is None:
             raise LaunchError("launch without a loaded image")
@@ -231,6 +237,11 @@ class Dpu:
                 f"tasklet count {n_tasklets} outside "
                 f"[1, {self.attributes.max_tasklets}]"
             )
+        event = None
+        if fault_attempt is not None:
+            plan = faults.current_plan()
+            if plan is not None:
+                event = plan.exec_fault(self.dpu_id, fault_attempt)
         if self.image.program is not None:
             interpreter = Interpreter(
                 self.image.program,
@@ -238,9 +249,14 @@ class Dpu:
                 self.dma,
                 n_tasklets=n_tasklets,
                 opt_level=opt_level,
+                inject=event,
             )
             self.last_result = interpreter.run()
         else:
+            if event is not None:
+                # Kernel images have no instruction stream to trap inside;
+                # the fault fires before the kernel touches any state.
+                event.raise_now()
             kernel = GLOBAL_KERNELS.get(self.image.kernel_name)
             context = KernelContext(
                 self.mram,

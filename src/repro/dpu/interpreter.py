@@ -77,6 +77,7 @@ class Interpreter:
         n_tasklets: int = 1,
         opt_level: OptLevel = OptLevel.O0,
         max_instructions: int = 20_000_000,
+        inject: "object | None" = None,
     ) -> None:
         self.program = program
         self.wram = wram
@@ -84,6 +85,10 @@ class Interpreter:
         self.n_tasklets = n_tasklets
         self.opt_level = opt_level
         self.max_instructions = max_instructions
+        # An ExecFault (repro.faults) to fire once total retired
+        # instructions reach its site; the event raises itself, so this
+        # module needs no dependency on the fault-injection layer.
+        self.inject = inject
         self.iram = Iram()
         self.iram.load(program.instructions)
         self.profile = SubroutineProfile()
@@ -101,6 +106,9 @@ class Interpreter:
         dma_bytes_before = self.dma.total_bytes
 
         while True:
+            if self.inject is not None and total_retired >= self.inject.at_instruction:
+                event, self.inject = self.inject, None
+                event.raise_now(total_retired)
             runnable = [
                 (clock.next_ready[i], i)
                 for i, state in enumerate(states)

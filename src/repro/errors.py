@@ -32,6 +32,10 @@ class DpuLimitError(DpuError):
     """A hardware limit was exceeded (tasklets, WRAM stack, IRAM size)."""
 
 
+class DpuHangError(DpuError):
+    """The DPU exceeded its straggler deadline (hung past the cycle budget)."""
+
+
 class AssemblerError(DpuError):
     """The DPU assembler rejected a source program."""
 

@@ -11,6 +11,7 @@ from repro.experiments import (  # noqa: F401  (import registers the drivers)
     chapter3,
     chapter4,
     chapter5,
+    faults,
 )
 from repro.experiments.base import (
     REGISTRY,

@@ -35,17 +35,17 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.dpu.attributes import UpmemAttributes
 from repro.dpu.costs import OptLevel
 from repro.dpu.device import Dpu, DpuImage, DpuMemoryState
 from repro.dpu.kernel import GLOBAL_KERNELS
-from repro.errors import LaunchError
+from repro.errors import DpuError, DpuHangError, LaunchError
 
 _M_PARALLEL_LAUNCHES = telemetry.GLOBAL_METRICS.counter(
     "parallel.launches", "set-wide launches that ran through the worker pool"
@@ -149,18 +149,40 @@ class ChunkTask:
     #: The kernel function itself (pickled by reference) so that a spawned
     #: worker imports the module that registers it; None for program images.
     kernel_fn: Any = None
+    chunk_index: int = 0
+    #: The parent's fault plan, shipped so pool workers (which are reused
+    #: across launches) always run under the plan of *this* launch.
+    fault_plan: Any = None
+    fault_policy: str = "raise"
+    max_retries: int = 0
 
 
 @dataclass
 class DpuLaunchOutcome:
-    """One DPU's results: mutated memories, timing, and DMA deltas."""
+    """One DPU's outcome: status, mutated memories, timing, DMA deltas.
+
+    ``status`` is ``"ok"``, ``"faulted"`` (the program trapped), or
+    ``"hung"`` (straggler past the cycle deadline).  A failed DPU under a
+    tolerant policy ships ``result=None`` and its *pre-launch* memory, so
+    the parent restores a known-good state instead of adopting a
+    half-executed one.
+    """
 
     index: int
-    memory: DpuMemoryState
-    result: Any  # ExecutionResult | KernelResult
+    memory: DpuMemoryState | None
+    result: Any  # ExecutionResult | KernelResult | None
     dma_cycles: int = 0
     dma_bytes: int = 0
     dma_transfers: int = 0
+    dpu_id: int = 0
+    status: str = "ok"
+    attempts: int = 1
+    error: str | None = None
+    error_type: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 @dataclass
@@ -171,42 +193,122 @@ class ChunkOutcome:
     metrics_delta: dict = field(default_factory=dict)
 
 
-def _run_chunk(task: ChunkTask) -> ChunkOutcome:
-    """Worker entry point: run every DPU of one chunk to completion."""
-    # Workers never own a tracer: a forked worker inherits the parent's
-    # tracer object, but spans recorded into that copy would be silently
-    # lost, so tracing is disabled here and the parent re-emits the
-    # per-DPU spans from the shipped results.
-    telemetry.uninstall_tracer()
-    if task.kernel_fn is not None and task.image.kernel_name not in GLOBAL_KERNELS:
-        GLOBAL_KERNELS.register(task.image.kernel_name, task.kernel_fn)
-    before = telemetry.GLOBAL_METRICS.snapshot()
-    outcomes = []
-    for order in task.orders:
+def _copy_memory_state(state: DpuMemoryState) -> DpuMemoryState:
+    """Deep-copy a memory snapshot (apply/export share backing arrays)."""
+    return DpuMemoryState(
+        mram_pages={addr: page.copy() for addr, page in state.mram_pages.items()},
+        wram=state.wram.copy(),
+    )
+
+
+def _run_order(task: ChunkTask, order: DpuWorkOrder) -> DpuLaunchOutcome:
+    """Run one DPU of a chunk under the task's fault policy."""
+    policy = task.fault_policy
+    # Tolerant policies must be able to roll a failed attempt back to the
+    # DPU's pre-launch state; 'raise' skips the copy on the hot path.
+    pristine = _copy_memory_state(order.memory) if policy != "raise" else None
+    attempt = 0
+    while True:
         dpu = Dpu(order.dpu_id, task.attributes)
-        dpu.apply_memory_state(order.memory)
-        dpu.load(task.image)
-        result = dpu.launch(
-            n_tasklets=task.n_tasklets,
-            opt_level=task.opt_level,
-            **task.kernel_params,
+        dpu.apply_memory_state(
+            order.memory if attempt == 0 else _copy_memory_state(pristine)
         )
+        dpu.load(task.image)
+        try:
+            result = dpu.launch(
+                n_tasklets=task.n_tasklets,
+                opt_level=task.opt_level,
+                fault_attempt=attempt,
+                **task.kernel_params,
+            )
+        except DpuError as exc:
+            if policy == "retry" and attempt < task.max_retries:
+                attempt += 1
+                continue
+            if policy == "raise":
+                raise LaunchError(
+                    f"DPU {order.dpu_id} (set index {order.index}, chunk "
+                    f"{task.chunk_index}) failed: {type(exc).__name__}: {exc}"
+                ) from exc
+            return DpuLaunchOutcome(
+                index=order.index,
+                memory=pristine,
+                result=None,
+                dpu_id=order.dpu_id,
+                status="hung" if isinstance(exc, DpuHangError) else "faulted",
+                attempts=attempt + 1,
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
         # The fresh DPU's DMA engine started at zero, so its totals ARE
         # this launch's deltas; the parent accumulates them.
-        outcomes.append(
-            DpuLaunchOutcome(
-                index=order.index,
-                memory=dpu.export_memory_state(),
-                result=result,
-                dma_cycles=dpu.dma.total_cycles,
-                dma_bytes=dpu.dma.total_bytes,
-                dma_transfers=dpu.dma.transfer_count,
-            )
+        return DpuLaunchOutcome(
+            index=order.index,
+            memory=dpu.export_memory_state(),
+            result=result,
+            dma_cycles=dpu.dma.total_cycles,
+            dma_bytes=dpu.dma.total_bytes,
+            dma_transfers=dpu.dma.transfer_count,
+            dpu_id=order.dpu_id,
+            status="ok",
+            attempts=attempt + 1,
         )
+
+
+#: Exit code of a deliberately killed worker (fault injection).
+_KILL_EXIT = 87
+
+
+def _run_chunk(task: ChunkTask, in_worker: bool = True) -> ChunkOutcome:
+    """Worker entry point: run every DPU of one chunk to completion.
+
+    Also callable in the parent (``in_worker=False``) to re-run a chunk
+    whose worker died: there it skips worker-only setup (tracer/plan
+    install, kill injection) and returns an empty metrics delta, because
+    its metric increments already landed in the live parent registry.
+    """
+    if in_worker:
+        # Workers never own a tracer: a forked worker inherits the
+        # parent's tracer object, but spans recorded into that copy would
+        # be silently lost, so tracing is disabled here and the parent
+        # re-emits the per-DPU spans from the shipped results.
+        telemetry.uninstall_tracer()
+        # Pool processes are reused across launches; always reset to this
+        # task's plan (which may be None).
+        faults.install_plan(task.fault_plan)
+        plan = task.fault_plan
+        if (
+            plan is not None
+            and task.orders
+            and plan.kill_worker(task.chunk_index, task.orders[0].dpu_id)
+        ):
+            os._exit(_KILL_EXIT)
+    if task.kernel_fn is not None and task.image.kernel_name not in GLOBAL_KERNELS:
+        GLOBAL_KERNELS.register(task.image.kernel_name, task.kernel_fn)
+    before = telemetry.GLOBAL_METRICS.snapshot() if in_worker else None
+    outcomes = [_run_order(task, order) for order in task.orders]
     return ChunkOutcome(
         outcomes=outcomes,
-        metrics_delta=telemetry.GLOBAL_METRICS.delta_since(before),
+        metrics_delta=(
+            telemetry.GLOBAL_METRICS.delta_since(before) if in_worker else {}
+        ),
     )
+
+
+def _rerun_chunk_in_parent(task: ChunkTask) -> ChunkOutcome:
+    """Re-run a chunk whose worker died, in-process and tracer-quiet.
+
+    The tracer is detached for the duration so per-DPU spans are not
+    emitted twice (the caller re-emits spans for every outcome), and kill
+    injection does not fire (``in_worker=False``), so a chunk whose
+    worker the plan killed still completes deterministically.
+    """
+    tracer = telemetry.uninstall_tracer()
+    try:
+        return _run_chunk(task, in_worker=False)
+    finally:
+        if tracer is not None:
+            telemetry.install_tracer(tracer)
 
 
 # ---------------------------------------------------------------------- #
@@ -229,6 +331,18 @@ def _executor(workers: int) -> ProcessPoolExecutor:
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
         _EXECUTORS[workers] = pool
     return pool
+
+
+def _discard_executor(workers: int) -> None:
+    """Drop a broken pool from the cache so the next launch gets a fresh one.
+
+    A worker that died (``BrokenProcessPool``) poisons its whole executor:
+    every subsequent submit fails instantly.  The broken pool is shut down
+    without waiting and forgotten.
+    """
+    pool = _EXECUTORS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def shutdown_executors() -> None:
@@ -271,14 +385,26 @@ def launch_parallel(
     opt_level: OptLevel,
     kernel_params: dict,
     workers: int,
-) -> list:
+    fault_policy: str = "raise",
+    max_retries: int = 0,
+) -> list[DpuLaunchOutcome]:
     """Run every DPU of ``dpu_set`` across ``workers`` processes.
 
-    Returns the per-DPU results in set order, with each parent-side DPU
-    updated in place (memories, DMA counters, ``last_result``) exactly as
-    serial execution would have left it.  Worker metric deltas are merged
-    into ``GLOBAL_METRICS`` and per-DPU spans re-emitted on the active
-    tracer before returning.
+    Returns the per-DPU :class:`DpuLaunchOutcome` list in set order, with
+    each parent-side DPU updated in place (memories, DMA counters,
+    ``last_result``) exactly as serial execution would have left it.
+    Worker metric deltas are merged into ``GLOBAL_METRICS`` and per-DPU
+    spans re-emitted on the active tracer before returning.
+
+    ``fault_policy`` governs partial failure:
+
+    * ``"raise"`` — a failing chunk cancels the futures that have not
+      started, merges every chunk that did complete, and raises a
+      :class:`LaunchError` naming the chunk and DPU (a dead worker's
+      ``BrokenProcessPool`` included) instead of a raw exception.
+    * ``"isolate"`` / ``"retry"`` — failed DPUs are reported in their
+      outcome, healthy DPUs always land; a chunk whose worker died is
+      re-run in the parent so its healthy members are not lost.
     """
     dpus = dpu_set.dpus
     image = dpu_set.image
@@ -287,8 +413,10 @@ def launch_parallel(
         if image.kernel_name is not None
         else None
     )
+    plan = faults.current_plan()
+    chunks = chunk_indices(len(dpus), workers)
     tasks = []
-    for chunk in chunk_indices(len(dpus), workers):
+    for chunk_index, chunk in enumerate(chunks):
         orders = [
             DpuWorkOrder(
                 index=i,
@@ -306,28 +434,117 @@ def launch_parallel(
                 kernel_params=kernel_params,
                 orders=orders,
                 kernel_fn=kernel_fn,
+                chunk_index=chunk_index,
+                fault_plan=plan,
+                fault_policy=fault_policy,
+                max_retries=max_retries,
             )
         )
     pool = _executor(workers)
-    futures = [pool.submit(_run_chunk, task) for task in tasks]
+    chunk_outcomes: list[ChunkOutcome | None] = [None] * len(tasks)
+    failures: list[tuple[int, BaseException]] = []
+    submit_failures: list[tuple[int, BaseException]] = []
+    pool_broken = False
+    futures = []
+    for task in tasks:
+        try:
+            futures.append(pool.submit(_run_chunk, task))
+        except BrokenExecutor as exc:
+            # A worker died while chunks were still being submitted: the
+            # pool rejects new work from that instant.  Mark every chunk
+            # that never made it in as failed (recorded after collection
+            # so the first *running* failure stays failures[0]).
+            for j in range(len(futures), len(tasks)):
+                submit_failures.append((j, exc))
+            pool_broken = True
+            break
     # Collect in submission order so failures surface deterministically.
-    chunk_outcomes = [future.result() for future in futures]
+    for i, future in enumerate(futures):
+        try:
+            chunk_outcomes[i] = future.result()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            failures.append((i, exc))
+            pool_broken = pool_broken or isinstance(exc, BrokenExecutor)
+            if fault_policy == "raise":
+                # Cancel whatever has not started; chunks already running
+                # are still collected below so their work is not lost.
+                for later in futures[i + 1:]:
+                    later.cancel()
+                for j in range(i + 1, len(futures)):
+                    if futures[j].cancelled():
+                        continue
+                    try:
+                        chunk_outcomes[j] = futures[j].result()
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as late_exc:
+                        failures.append((j, late_exc))
+                        pool_broken = (
+                            pool_broken or isinstance(late_exc, BrokenExecutor)
+                        )
+                break
+    failures.extend(submit_failures)
+    if pool_broken:
+        _discard_executor(workers)
+    if fault_policy != "raise":
+        # A crashed worker must not take its healthy DPUs with it: re-run
+        # each failed chunk in-process.  Kill injection only fires inside
+        # workers, so the rerun completes deterministically.
+        for i, exc in failures:
+            faults.record_worker_failure(tasks[i].chunk_index, exc)
+            chunk_outcomes[i] = _rerun_chunk_in_parent(tasks[i])
 
-    results: list = [None] * len(dpus)
+    merged_chunks = 0
+    all_outcomes: dict[int, DpuLaunchOutcome] = {}
     for chunk_outcome in chunk_outcomes:
-        telemetry.GLOBAL_METRICS.merge_delta(chunk_outcome.metrics_delta)
+        if chunk_outcome is None:
+            continue
+        merged_chunks += 1
+        if chunk_outcome.metrics_delta:
+            telemetry.GLOBAL_METRICS.merge_delta(chunk_outcome.metrics_delta)
         for outcome in chunk_outcome.outcomes:
             dpu = dpus[outcome.index]
-            dpu.apply_memory_state(outcome.memory)
-            dpu.dma.total_cycles += outcome.dma_cycles
-            dpu.dma.total_bytes += outcome.dma_bytes
-            dpu.dma.transfer_count += outcome.dma_transfers
-            dpu.last_result = outcome.result
-            results[outcome.index] = outcome.result
+            if outcome.memory is not None:
+                dpu.apply_memory_state(outcome.memory)
+            if outcome.ok:
+                dpu.dma.total_cycles += outcome.dma_cycles
+                dpu.dma.total_bytes += outcome.dma_bytes
+                dpu.dma.transfer_count += outcome.dma_transfers
+                dpu.last_result = outcome.result
+            else:
+                dpu.last_result = None
+            all_outcomes[outcome.index] = outcome
+    if fault_policy == "raise" and failures:
+        first_index, first_exc = failures[0]
+        chunk = chunks[first_index]
+        detail = (
+            "a worker process died (BrokenProcessPool)"
+            if isinstance(first_exc, BrokenExecutor)
+            else f"{type(first_exc).__name__}: {first_exc}"
+        )
+        raise LaunchError(
+            f"parallel launch failed in chunk {first_index} (set indices "
+            f"{chunk.start}..{chunk.stop - 1}): {detail}; {merged_chunks} of "
+            f"{len(tasks)} chunks completed and were merged"
+        ) from first_exc
     tracer = telemetry.current_tracer()
     if tracer is not None:
-        for index, result in enumerate(results):
-            dpus[index]._record_exec_span(tracer, result, n_tasklets)
+        for index in range(len(dpus)):
+            outcome = all_outcomes[index]
+            if outcome.ok:
+                dpus[index]._record_exec_span(tracer, outcome.result, n_tasklets)
+            else:
+                tracer.add_span(
+                    "dpu.fault",
+                    category="fault",
+                    track=("dpu", outcome.dpu_id),
+                    dpu_id=outcome.dpu_id,
+                    status=outcome.status,
+                    attempts=outcome.attempts,
+                    error=outcome.error_type,
+                )
     _M_PARALLEL_LAUNCHES.inc()
     _M_PARALLEL_CHUNKS.inc(len(tasks))
-    return results
+    return [all_outcomes[i] for i in range(len(dpus))]

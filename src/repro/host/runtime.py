@@ -21,18 +21,18 @@ handle's seconds — N overlapping launches cost max, not sum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
 from repro.dpu.costs import OptLevel
 from repro.dpu.device import Dpu, DpuImage
 from repro.host import parallel
 from repro.host import transfer as xfer
 from repro.host.topology import SystemTopology
-from repro.errors import AllocationError, LaunchError
+from repro.errors import AllocationError, DpuError, DpuHangError, LaunchError
 
 _M_ALLOCATIONS = telemetry.GLOBAL_METRICS.counter(
     "dpu.allocations", "DpuSystem.allocate calls"
@@ -51,21 +51,70 @@ _M_LAUNCH_SECONDS = telemetry.GLOBAL_METRICS.histogram(
     "simulated seconds per set-wide launch",
     buckets=tuple(10.0 ** e for e in range(-9, 3)),
 )
+_M_LAUNCH_RETRIES = telemetry.GLOBAL_METRICS.counter(
+    "launch.retries", "extra per-DPU attempts spent by the retry policy"
+)
+_M_LAUNCH_DEGRADED = telemetry.GLOBAL_METRICS.counter(
+    "launch.degraded", "set-wide launches that completed with failed DPUs"
+)
+
+
+@dataclass
+class DpuOutcome:
+    """One DPU's fate within a set-wide launch."""
+
+    index: int
+    dpu_id: int
+    status: str = "ok"  # "ok" | "faulted" | "hung"
+    attempts: int = 1
+    error: str | None = None
+    error_type: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 @dataclass
 class LaunchReport:
-    """Timing summary of one set-wide launch."""
+    """Timing summary of one set-wide launch.
+
+    ``outcomes`` is populated whenever the launch ran under a fault plan
+    or a tolerant ``fault_policy``; it names every DPU's status, attempt
+    count, and error, so a degraded launch is never silent.  A failed
+    DPU contributes 0.0 to ``per_dpu_cycles``.
+    """
 
     cycles: float
     seconds: float
     per_dpu_cycles: list[float]
     n_dpus: int
     n_tasklets: int
+    fault_policy: str = "raise"
+    outcomes: list[DpuOutcome] = field(default_factory=list)
 
     @property
     def slowest_dpu(self) -> int:
         return int(np.argmax(self.per_dpu_cycles))
+
+    @property
+    def failed(self) -> list[DpuOutcome]:
+        """Outcomes of the DPUs that did not complete."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one DPU failed (its results are missing)."""
+        return any(not o.ok for o in self.outcomes)
+
+    @property
+    def n_retried(self) -> int:
+        """Extra attempts the retry policy spent across the set."""
+        return sum(o.attempts - 1 for o in self.outcomes)
 
 
 class DpuSet:
@@ -138,6 +187,8 @@ class DpuSet:
         n_tasklets: int = 1,
         opt_level: OptLevel = OptLevel.O0,
         workers: int | None = None,
+        fault_policy: str | None = None,
+        max_retries: int | None = None,
         **kernel_params,
     ) -> LaunchReport:
         """``dpu_launch`` + sync: run every DPU, report the set's timing.
@@ -148,10 +199,24 @@ class DpuSet:
         resolves the configured default (``repro --workers`` /
         ``REPRO_WORKERS`` / cpu count), which only engages the pool for
         sets of at least ``parallel.PARALLEL_MIN_DPUS`` DPUs.
+
+        ``fault_policy`` decides what happens when a DPU faults or hangs
+        (see :mod:`repro.faults`):
+
+        * ``"raise"`` — propagate the failure (parallel launches wrap it
+          in a :class:`LaunchError` with chunk/DPU context),
+        * ``"isolate"`` — keep every healthy DPU's results, memory, and
+          metrics; report failed DPUs in ``LaunchReport.outcomes``,
+        * ``"retry"`` — re-run each failed DPU from its pre-launch state
+          up to ``max_retries`` extra attempts, then isolate.
+
+        ``None`` defers to the installed fault plan's ``default_policy``
+        (``"raise"`` when injection is off).
         """
         return self._launch(
             n_tasklets, opt_level, kernel_params,
             workers=workers, advance_sim=True,
+            fault_policy=fault_policy, max_retries=max_retries,
         )
 
     def launch_async(
@@ -160,6 +225,8 @@ class DpuSet:
         n_tasklets: int = 1,
         opt_level: OptLevel = OptLevel.O0,
         workers: int | None = None,
+        fault_policy: str | None = None,
+        max_retries: int | None = None,
         **kernel_params,
     ) -> "AsyncLaunch":
         """``dpu_launch(..., DPU_ASYNCHRONOUS)``: returns a wait handle.
@@ -167,11 +234,13 @@ class DpuSet:
         The simulated cursor is *not* advanced at issue time — overlapping
         async launches must not serialize simulated time.  The first
         ``wait()`` on the handle advances it (or ``wait_all`` advances once
-        by the slowest handle).
+        by the slowest handle).  ``fault_policy`` works as in
+        :meth:`launch`.
         """
         report = self._launch(
             n_tasklets, opt_level, kernel_params,
             workers=workers, advance_sim=False,
+            fault_policy=fault_policy, max_retries=max_retries,
         )
         return AsyncLaunch(report)
 
@@ -183,16 +252,32 @@ class DpuSet:
         *,
         workers: int | None,
         advance_sim: bool,
+        fault_policy: str | None = None,
+        max_retries: int | None = None,
     ) -> LaunchReport:
         self._require_live("launch")
         if self.image is None:
             raise LaunchError("launch before load")
         n_workers = parallel.resolve_workers(len(self.dpus), workers)
+        plan = faults.current_plan()
+        policy = fault_policy or (
+            plan.default_policy if plan is not None else "raise"
+        )
+        if policy not in faults.POLICIES:
+            raise LaunchError(
+                f"unknown fault_policy {policy!r}; use one of {faults.POLICIES}"
+            )
+        if max_retries is None:
+            retries = plan.max_retries if plan is not None else faults.DEFAULT_MAX_RETRIES
+        elif max_retries < 0:
+            raise LaunchError(f"max_retries must be >= 0, got {max_retries}")
+        else:
+            retries = max_retries
         tracer = telemetry.current_tracer()
         if tracer is None:
             # Hot path: no span objects, no kwargs dicts beyond the call's own.
             report = self._launch_now(n_tasklets, opt_level, kernel_params,
-                                      n_workers)
+                                      n_workers, policy, retries)
         else:
             with tracer.span(
                 "dpu.launch",
@@ -204,7 +289,7 @@ class DpuSet:
                 asynchronous=not advance_sim,
             ) as span:
                 report = self._launch_now(n_tasklets, opt_level, kernel_params,
-                                          n_workers)
+                                          n_workers, policy, retries)
                 if advance_sim:
                     # Every DPU ran in parallel on the simulated clock; the
                     # set advances by its slowest member.  Async launches
@@ -214,6 +299,7 @@ class DpuSet:
                     cycles=report.cycles,
                     seconds=report.seconds,
                     slowest_dpu=self.dpus[report.slowest_dpu].dpu_id,
+                    degraded=report.degraded,
                 )
         self.last_report = report
         return report
@@ -224,23 +310,59 @@ class DpuSet:
         opt_level: OptLevel,
         kernel_params: dict,
         workers: int = 1,
+        fault_policy: str = "raise",
+        max_retries: int = 0,
     ) -> LaunchReport:
+        outcomes: list[parallel.DpuLaunchOutcome] | None = None
         if workers > 1 and len(self.dpus) > 1:
-            results = parallel.launch_parallel(
+            outcomes = parallel.launch_parallel(
                 self,
                 n_tasklets=n_tasklets,
                 opt_level=opt_level,
                 kernel_params=kernel_params,
                 workers=workers,
+                fault_policy=fault_policy,
+                max_retries=max_retries,
             )
-            per_dpu = [float(result.cycles) for result in results]
-        else:
+        elif fault_policy == "raise":
+            # Serial hot path; exceptions propagate raw, as they always have.
             per_dpu = []
             for dpu in self.dpus:
                 result = dpu.launch(
-                    n_tasklets=n_tasklets, opt_level=opt_level, **kernel_params
+                    n_tasklets=n_tasklets, opt_level=opt_level,
+                    fault_attempt=0, **kernel_params,
                 )
                 per_dpu.append(float(result.cycles))
+        else:
+            outcomes = [
+                self._execute_tolerant(
+                    index, dpu,
+                    n_tasklets=n_tasklets, opt_level=opt_level,
+                    kernel_params=kernel_params,
+                    policy=fault_policy, max_retries=max_retries,
+                )
+                for index, dpu in enumerate(self.dpus)
+            ]
+        dpu_outcomes: list[DpuOutcome] = []
+        if outcomes is not None:
+            if not any(o.ok for o in outcomes):
+                first = outcomes[0]
+                raise LaunchError(
+                    f"all {len(outcomes)} DPUs of the launch failed under "
+                    f"fault_policy={fault_policy!r}; first failure: DPU "
+                    f"{first.dpu_id}: {first.error_type}: {first.error}"
+                )
+            per_dpu = [
+                float(o.result.cycles) if o.ok else 0.0 for o in outcomes
+            ]
+            dpu_outcomes = [
+                DpuOutcome(
+                    index=o.index, dpu_id=o.dpu_id, status=o.status,
+                    attempts=o.attempts, error=o.error,
+                    error_type=o.error_type,
+                )
+                for o in outcomes
+            ]
         cycles = max(per_dpu)
         report = LaunchReport(
             cycles=cycles,
@@ -248,10 +370,80 @@ class DpuSet:
             per_dpu_cycles=per_dpu,
             n_dpus=len(self.dpus),
             n_tasklets=n_tasklets,
+            fault_policy=fault_policy,
+            outcomes=dpu_outcomes,
         )
         _M_LAUNCHES.inc()
         _M_LAUNCH_SECONDS.observe(report.seconds)
+        if report.n_retried:
+            _M_LAUNCH_RETRIES.inc(report.n_retried)
+        if report.degraded:
+            _M_LAUNCH_DEGRADED.inc()
         return report
+
+    def _execute_tolerant(
+        self,
+        index: int,
+        dpu: Dpu,
+        *,
+        n_tasklets: int,
+        opt_level: OptLevel,
+        kernel_params: dict,
+        policy: str,
+        max_retries: int,
+    ) -> parallel.DpuLaunchOutcome:
+        """Serial counterpart of the worker's per-DPU retry loop.
+
+        Mirrors :func:`repro.host.parallel._run_order` on the live DPU:
+        a failed attempt rolls memory and DMA counters back to the
+        pre-launch snapshot, so a retried launch — and the final state
+        after an isolated failure — is bit-identical to what the
+        parallel engine produces.
+        """
+        pristine = parallel._copy_memory_state(dpu.export_memory_state())
+        dma_before = (
+            dpu.dma.total_cycles, dpu.dma.total_bytes, dpu.dma.transfer_count
+        )
+        attempt = 0
+        while True:
+            try:
+                result = dpu.launch(
+                    n_tasklets=n_tasklets, opt_level=opt_level,
+                    fault_attempt=attempt, **kernel_params,
+                )
+            except DpuError as exc:
+                dpu.apply_memory_state(
+                    parallel._copy_memory_state(pristine)
+                )
+                (
+                    dpu.dma.total_cycles,
+                    dpu.dma.total_bytes,
+                    dpu.dma.transfer_count,
+                ) = dma_before
+                if policy == "retry" and attempt < max_retries:
+                    attempt += 1
+                    continue
+                dpu.last_result = None
+                return parallel.DpuLaunchOutcome(
+                    index=index,
+                    memory=None,
+                    result=None,
+                    dpu_id=dpu.dpu_id,
+                    status=(
+                        "hung" if isinstance(exc, DpuHangError) else "faulted"
+                    ),
+                    attempts=attempt + 1,
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                )
+            return parallel.DpuLaunchOutcome(
+                index=index,
+                memory=None,
+                result=result,
+                dpu_id=dpu.dpu_id,
+                status="ok",
+                attempts=attempt + 1,
+            )
 
 
 class AsyncLaunch:
@@ -321,6 +513,8 @@ def wait_all(handles: list[AsyncLaunch]) -> LaunchReport:
         per_dpu_cycles=[c for r in reports for c in r.per_dpu_cycles],
         n_dpus=sum(r.n_dpus for r in reports),
         n_tasklets=slowest.n_tasklets,
+        fault_policy=slowest.fault_policy,
+        outcomes=[o for r in reports for o in r.outcomes],
     )
     tracer = telemetry.current_tracer()
     if tracer is not None:

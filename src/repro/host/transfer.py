@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.dpu.device import Dpu
 from repro.host.alignment import pad_buffer, validate_transfer
 from repro.errors import TransferError
@@ -102,8 +102,14 @@ def copy_to(
     """``dpu_copy_to``: broadcast one buffer to a symbol on every DPU."""
     raw = _as_bytes(data)
     validate_transfer(len(raw), symbol_offset)
+    # Resolve and range-check the symbol on every DPU before writing any,
+    # so a missing symbol cannot leave the set partially written.
     for dpu in dpus:
-        dpu.write_symbol(symbol_name, raw, symbol_offset)
+        dpu.symbol(symbol_name).check_range(symbol_offset, len(raw))
+    plan = faults.current_plan()
+    for dpu in dpus:
+        payload = raw if plan is None else plan.corrupt(raw, dpu_id=dpu.dpu_id)
+        dpu.write_symbol(symbol_name, payload, symbol_offset)
     stats = stats or GLOBAL_TRANSFER_STATS
     total = len(raw) * len(dpus)
     stats.bytes_to_dpus += total
@@ -124,6 +130,9 @@ def copy_from(
     """``dpu_copy_from``: read a symbol from one DPU."""
     validate_transfer(n_bytes, symbol_offset)
     raw = dpu.read_symbol(symbol_name, n_bytes, symbol_offset)
+    plan = faults.current_plan()
+    if plan is not None:
+        raw = plan.corrupt(raw, dpu_id=dpu.dpu_id)
     stats = stats or GLOBAL_TRANSFER_STATS
     stats.bytes_from_dpus += n_bytes
     _M_BYTES_FROM_DPU.inc(n_bytes)
@@ -182,32 +191,48 @@ class XferBatch:
                 )
             length = lengths.pop()
         validate_transfer(length, symbol_offset)
-        stats = stats or GLOBAL_TRANSFER_STATS
-        results: list[bytes] = []
-        n_dpus = len(self._prepared)
+        # Validate every prepared entry before touching any DPU: a short
+        # buffer or missing symbol at index k used to surface only after
+        # DPUs 0..k-1 were already written, leaving the set in a mixed
+        # state with no indication of which members were touched.
         for dpu, buffer in self._prepared:
             if len(buffer) < length:
                 raise TransferError(
                     f"prepared buffer of {len(buffer)} bytes shorter than "
                     f"push length {length}"
                 )
+            dpu.symbol(symbol_name).check_range(symbol_offset, length)
+        plan = faults.current_plan()
+        stats = stats or GLOBAL_TRANSFER_STATS
+        results: list[bytes] = []
+        n_dpus = len(self._prepared)
+        for dpu, buffer in self._prepared:
             if direction is XferDirection.TO_DPU:
-                dpu.write_symbol(symbol_name, bytes(buffer[:length]), symbol_offset)
-                stats.bytes_to_dpus += length
+                payload = bytes(buffer[:length])
+                if plan is not None:
+                    payload = plan.corrupt(payload, dpu_id=dpu.dpu_id)
+                dpu.write_symbol(symbol_name, payload, symbol_offset)
             else:
                 data = dpu.read_symbol(symbol_name, length, symbol_offset)
+                if plan is not None:
+                    data = plan.corrupt(data, dpu_id=dpu.dpu_id)
                 if isinstance(buffer, bytearray):
                     buffer[:length] = data
                 results.append(data)
-                stats.bytes_from_dpus += length
-        stats.pushes += 1
-        _M_PUSHES.inc()
+        # All-or-nothing accounting: stats and the metrics registry move
+        # together, and only once every member transfer has succeeded.
         total = length * n_dpus
         if direction is XferDirection.TO_DPU:
+            stats.bytes_to_dpus += total
             _M_BYTES_TO_DPU.inc(total)
+        else:
+            stats.bytes_from_dpus += total
+            _M_BYTES_FROM_DPU.inc(total)
+        stats.pushes += 1
+        _M_PUSHES.inc()
+        if direction is XferDirection.TO_DPU:
             _record_transfer("transfer.push", "to_dpu", total, n_dpus)
         else:
-            _M_BYTES_FROM_DPU.inc(total)
             _record_transfer("transfer.push", "from_dpu", total, n_dpus)
         self._prepared.clear()
         return results if direction is XferDirection.FROM_DPU else None
