@@ -1,0 +1,226 @@
+"""Interpreter throughput benchmark: fast path vs reference oracle.
+
+Measures host-side simulated-MIPS (millions of retired DPU instructions
+per wall-clock second) for the two instruction-level benchmark kernels —
+the eBNN binary convolution and the row-strided integer GEMM — at 1, 11
+and 16 tasklets, under both interpreter modes (``REPRO_INTERP``).  Every
+timed pair is also an equivalence check: the fast interpreter must
+produce the same :class:`ExecutionResult` and the same WRAM image as the
+reference, bit for bit.
+
+With ``--workers N`` it additionally measures a set-wide launch of the
+eBNN image across worker processes, where successful DPUs ship back only
+dirty memory (:class:`~repro.dpu.device.DpuMemoryDelta`), and checks the
+parallel run's per-DPU cycles against ``workers=1``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_interpreter.py \
+        --image-size 16 --workers 4 --out BENCH_interpreter.json
+
+``--smoke`` shrinks the workload for CI and exits non-zero unless the
+fast interpreter is at least ``--min-speedup`` (default 2.0) times the
+reference on every kernel; full runs land at 10-20x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.dpu import samples
+from repro.dpu.assembler import assemble
+from repro.dpu.attributes import UPMEM_ATTRIBUTES
+from repro.dpu.device import DpuImage
+from repro.dpu.interpreter import make_interpreter
+from repro.dpu.memory import DmaEngine, Mram, Wram
+from repro.host.runtime import DpuSystem
+
+TASKLET_COUNTS = (1, 11, 16)
+
+
+def _kernels(image_size: int, gemm_dim: int, n_tasklets: int) -> list[tuple[str, object]]:
+    """The benchmark programs, built for one tasklet count."""
+    conv = samples.binary_conv_program(
+        image_size=image_size, n_filters=min(n_tasklets, 24)
+    )
+    gemm = samples.gemm_program(
+        gemm_dim, gemm_dim, gemm_dim, n_tasklets=n_tasklets
+    )
+    return [("ebnn_conv", conv.program), ("gemm", gemm.program)]
+
+
+def _run_once(program, mode: str, n_tasklets: int):
+    """Run ``program`` under ``mode`` on fresh memory; returns timing + state."""
+    wram = Wram()
+    dma = DmaEngine(Mram(), wram)
+    interpreter = make_interpreter(
+        program, wram, dma, mode=mode, n_tasklets=n_tasklets
+    )
+    start = time.perf_counter()
+    result = interpreter.run()
+    wall = time.perf_counter() - start
+    return wall, result, wram.read(0, wram.size)
+
+
+def measure_serial(
+    image_size: int, gemm_dim: int, repeats: int
+) -> tuple[list[dict], bool]:
+    """MIPS per (kernel, tasklet count, mode); returns (rows, all-identical)."""
+    rows = []
+    identical = True
+    for n_tasklets in TASKLET_COUNTS:
+        for kernel, program in _kernels(image_size, gemm_dim, n_tasklets):
+            best = {"fast": float("inf"), "reference": float("inf")}
+            states = {}
+            for mode in ("fast", "reference"):
+                for _ in range(repeats):
+                    wall, result, wram = _run_once(program, mode, n_tasklets)
+                    best[mode] = min(best[mode], wall)
+                states[mode] = (result, wram)
+            match = states["fast"] == states["reference"]
+            identical &= match
+            retired = states["fast"][0].instructions_retired
+            rows.append(
+                {
+                    "kernel": kernel,
+                    "n_tasklets": n_tasklets,
+                    "instructions": retired,
+                    "fast_mips": retired / best["fast"] / 1e6,
+                    "reference_mips": retired / best["reference"] / 1e6,
+                    "speedup": best["reference"] / best["fast"],
+                    "identical": match,
+                }
+            )
+    return rows, identical
+
+
+def _conv_image(image_size: int, n_tasklets: int) -> DpuImage:
+    """The eBNN program as a loadable image for set-wide launches."""
+    conv = samples.binary_conv_program(
+        image_size=image_size, n_filters=min(n_tasklets, 24)
+    )
+    return DpuImage.from_symbol_layout("bench_interp_conv", program=conv.program)
+
+
+def measure_parallel(
+    image_size: int, n_tasklets: int, n_dpus: int, workers: int
+) -> dict:
+    """Aggregate launch MIPS at workers=1 vs workers=N (dirty-delta shipping)."""
+    image = _conv_image(image_size, n_tasklets)
+    walls = {}
+    cycles = {}
+    for label, n_workers in (("serial", 1), ("parallel", workers)):
+        system = DpuSystem(UPMEM_ATTRIBUTES.scaled(n_dpus))
+        dpu_set = system.allocate(n_dpus)
+        try:
+            dpu_set.load(image)
+            start = time.perf_counter()
+            report = dpu_set.launch(n_tasklets=n_tasklets, workers=n_workers)
+            walls[label] = time.perf_counter() - start
+            cycles[label] = list(report.per_dpu_cycles)
+        finally:
+            system.free(dpu_set)
+    _, result, _ = _run_once(image.program, "fast", n_tasklets)
+    total_instructions = result.instructions_retired * n_dpus
+    return {
+        "n_dpus": n_dpus,
+        "workers": workers,
+        "total_instructions": total_instructions,
+        "serial_mips": total_instructions / walls["serial"] / 1e6,
+        "parallel_mips": total_instructions / walls["parallel"] / 1e6,
+        "speedup": walls["serial"] / walls["parallel"],
+        "cycles_match": cycles["serial"] == cycles["parallel"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--image-size", type=int, default=16,
+                        help="eBNN input image side (default: 16)")
+    parser.add_argument("--gemm-dim", type=int, default=16,
+                        help="square GEMM dimension (default: 16)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per configuration; best-of wins")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="also measure a set-wide launch over N workers")
+    parser.add_argument("--n-dpus", type=int, default=32,
+                        help="DPU count for the --workers section")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required fast/reference ratio (default: 2.0)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI workload; gate on --min-speedup")
+    parser.add_argument("--out", default="BENCH_interpreter.json",
+                        help="BENCH JSON output path")
+    args = parser.parse_args(argv)
+
+    image_size = 8 if args.smoke else args.image_size
+    gemm_dim = 8 if args.smoke else args.gemm_dim
+    repeats = 1 if args.smoke else args.repeats
+
+    rows, identical = measure_serial(image_size, gemm_dim, repeats)
+    parallel = None
+    if args.workers > 1:
+        parallel = measure_parallel(
+            image_size,
+            n_tasklets=11,
+            n_dpus=8 if args.smoke else args.n_dpus,
+            workers=args.workers,
+        )
+
+    payload = {
+        "benchmark": "interpreter",
+        "image_size": image_size,
+        "gemm_dim": gemm_dim,
+        "repeats": repeats,
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "results": rows,
+        "parallel": parallel,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    print(f"interpreter throughput — eBNN {image_size}x{image_size}, "
+          f"GEMM {gemm_dim}^3, best of {repeats}")
+    print(f"{'kernel':>10}  {'tasklets':>8}  {'instr':>9}  {'fast MIPS':>10}  "
+          f"{'ref MIPS':>9}  {'speedup':>8}  identical")
+    for row in rows:
+        print(f"{row['kernel']:>10}  {row['n_tasklets']:>8}  "
+              f"{row['instructions']:>9}  {row['fast_mips']:>10.2f}  "
+              f"{row['reference_mips']:>9.2f}  {row['speedup']:>7.1f}x  "
+              f"{row['identical']}")
+    if parallel is not None:
+        print(f"set launch: {parallel['n_dpus']} DPUs x 11 tasklets, "
+              f"{parallel['workers']} workers: "
+              f"{parallel['serial_mips']:.2f} -> "
+              f"{parallel['parallel_mips']:.2f} aggregate MIPS "
+              f"({parallel['speedup']:.2f}x), "
+              f"cycles_match={parallel['cycles_match']}")
+    print(f"wrote {args.out}")
+
+    if not identical:
+        print("ERROR: fast interpreter diverged from the reference")
+        return 1
+    if parallel is not None and not parallel["cycles_match"]:
+        print("ERROR: parallel launch diverged from serial execution")
+        return 1
+    worst = min(row["speedup"] for row in rows)
+    if args.smoke and worst < args.min_speedup:
+        print(f"ERROR: fast interpreter only {worst:.2f}x the reference "
+              f"(required {args.min_speedup:.1f}x)")
+        return 1
+    return 0
+
+
+def bench_interpreter():
+    """Pytest smoke: tiny kernels stay bit-identical across interpreters."""
+    rows, identical = measure_serial(image_size=6, gemm_dim=4, repeats=1)
+    assert identical
+    assert all(row["identical"] for row in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,13 +17,23 @@ from repro.dpu.costs import (
     cost_model,
     mram_access_cycles,
 )
-from repro.dpu.device import Dpu, DpuImage, Symbol
+from repro.dpu.device import Dpu, DpuImage, DpuMemoryDelta, DpuMemoryState, Symbol
 from repro.dpu.encoding import (
     EncodedProgram,
     decode_program,
     encode_program,
 )
-from repro.dpu.interpreter import ExecutionResult, Interpreter, run_program
+from repro.dpu.fastpath import FastInterpreter
+from repro.dpu.interpreter import (
+    INTERP_MODES,
+    ExecutionResult,
+    Interpreter,
+    current_mode,
+    interp_scope,
+    make_interpreter,
+    run_program,
+    set_mode,
+)
 from repro.dpu.kernel import GLOBAL_KERNELS, KernelContext, KernelResult
 from repro.dpu.memory import DmaEngine, Iram, Mram, Wram, streamed_transfer_cycles
 from repro.dpu.pipeline import (
@@ -53,13 +63,21 @@ __all__ = [
     "mram_access_cycles",
     "Dpu",
     "DpuImage",
+    "DpuMemoryDelta",
+    "DpuMemoryState",
     "Symbol",
     "EncodedProgram",
     "decode_program",
     "encode_program",
     "ExecutionResult",
+    "FastInterpreter",
+    "INTERP_MODES",
     "Interpreter",
+    "current_mode",
+    "interp_scope",
+    "make_interpreter",
     "run_program",
+    "set_mode",
     "GLOBAL_KERNELS",
     "KernelContext",
     "KernelResult",

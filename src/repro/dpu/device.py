@@ -22,7 +22,7 @@ import numpy as np
 from repro import faults, telemetry
 from repro.dpu.attributes import UPMEM_ATTRIBUTES, UpmemAttributes
 from repro.dpu.costs import OptLevel
-from repro.dpu.interpreter import ExecutionResult, Interpreter
+from repro.dpu.interpreter import ExecutionResult, make_interpreter
 from repro.dpu.isa import Program
 from repro.dpu.kernel import GLOBAL_KERNELS, KernelContext, KernelResult
 from repro.dpu.memory import DmaEngine, Mram, Wram
@@ -114,6 +114,23 @@ class DpuMemoryState:
     wram: np.ndarray
 
 
+@dataclass
+class DpuMemoryDelta:
+    """Picklable *delta* of a DPU's memory: only what an execution wrote.
+
+    The cheap sibling of :class:`DpuMemoryState`: instead of every
+    resident MRAM page and the whole WRAM, it carries the pages and the
+    WRAM byte span dirtied since :meth:`Dpu.reset_memory_dirty` —
+    O(touched), not O(memory).  This is what parallel-launch workers ship
+    back after a successful run.  As with the full snapshot, the arrays
+    may share storage with the producing DPU; pickling copies them.
+    """
+
+    mram_pages: dict[int, np.ndarray]
+    wram_lo: int
+    wram_data: np.ndarray | None
+
+
 class Dpu:
     """One simulated DRAM Processing Unit."""
 
@@ -138,7 +155,7 @@ class Dpu:
         """Load an image (program or kernel), the ``dpu_load`` equivalent."""
         if image.program is not None:
             # Validate IRAM capacity eagerly, like the loader would.
-            Interpreter(image.program, self.wram, self.dma)
+            make_interpreter(image.program, self.wram, self.dma)
         elif image.kernel_name is not None:
             GLOBAL_KERNELS.get(image.kernel_name)
         self.image = image
@@ -207,6 +224,65 @@ class Dpu:
             )
         self.wram._data = state.wram
 
+    def reset_memory_dirty(self) -> None:
+        """Start tracking writes for :meth:`export_memory_delta`."""
+        self.mram.reset_dirty()
+        self.wram.reset_dirty()
+
+    def export_memory_delta(self) -> DpuMemoryDelta:
+        """Snapshot only the memory written since :meth:`reset_memory_dirty`.
+
+        The WRAM span is a numpy *view* into the live buffer and the MRAM
+        entries are the live page arrays; pickling (the normal transport)
+        copies exactly the dirty bytes.  A page that was written and then
+        dropped from the sparse store would have no data to ship, hence
+        the residency guard.
+        """
+        pages = self.mram._pages
+        span = self.wram.dirty_span()
+        return DpuMemoryDelta(
+            mram_pages={
+                index: pages[index]
+                for index in self.mram.dirty_pages()
+                if index in pages
+            },
+            wram_lo=span[0] if span else 0,
+            wram_data=(
+                self.wram._data[span[0] : span[1]] if span else None
+            ),
+        )
+
+    def apply_memory_delta(self, delta: DpuMemoryDelta) -> None:
+        """Merge a shipped delta into this DPU's memories.
+
+        Unlike :meth:`apply_memory_state` this *copies into* the existing
+        buffers rather than adopting new ones, so repeated application
+        (e.g. after an in-parent rerun whose delta aliases the live
+        buffers) is an idempotent overwrite.
+        """
+        for index, page in delta.mram_pages.items():
+            live = self.mram._pages.get(index)
+            if live is None:
+                self.mram._pages[index] = np.array(page, dtype=np.uint8)
+            elif live is not page:
+                live[:] = page
+        if delta.wram_data is not None:
+            lo = delta.wram_lo
+            hi = lo + delta.wram_data.size
+            if hi > self.wram.size:
+                raise DpuError(
+                    f"shipped WRAM delta [{lo}, {hi}) does not fit this "
+                    f"DPU's {self.wram.size}-byte WRAM"
+                )
+            target = self.wram._data[lo:hi]
+            source = delta.wram_data
+            if (
+                target.__array_interface__["data"]
+                != source.__array_interface__["data"]
+            ):
+                target[:] = source
+            self.wram._mark_dirty(lo, source.size)
+
     # ------------------------------------------------------------------ #
     # launch
     # ------------------------------------------------------------------ #
@@ -243,7 +319,7 @@ class Dpu:
             if plan is not None:
                 event = plan.exec_fault(self.dpu_id, fault_attempt)
         if self.image.program is not None:
-            interpreter = Interpreter(
+            interpreter = make_interpreter(
                 self.image.program,
                 self.wram,
                 self.dma,

@@ -14,6 +14,8 @@ work, exactly like ``me()`` in the UPMEM SDK.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.dpu import runtime_calls
@@ -370,6 +372,72 @@ class Interpreter:
         return float((n_instr - 1) * dispatch_interval(clock.n_tasklets))
 
 
+#: Selectable interpreter implementations.  ``fast`` is the decode-once,
+#: event-scheduled engine in :mod:`repro.dpu.fastpath`; ``reference`` is
+#: the straight-line :class:`Interpreter` above.  Both produce
+#: bit-identical results (the differential fuzz suite enforces this);
+#: the reference exists as the oracle and for debugging.
+INTERP_MODES = ("fast", "reference")
+
+_INTERP_ENV = "REPRO_INTERP"
+_mode_override: str | None = None
+
+
+def _validate_mode(mode: str) -> str:
+    if mode not in INTERP_MODES:
+        raise ValueError(
+            f"unknown interpreter mode {mode!r}; expected one of {INTERP_MODES}"
+        )
+    return mode
+
+
+def current_mode() -> str:
+    """The active interpreter mode: ``set_mode`` override, else $REPRO_INTERP."""
+    if _mode_override is not None:
+        return _mode_override
+    raw = os.environ.get(_INTERP_ENV, "").strip().lower()
+    return _validate_mode(raw) if raw else "fast"
+
+
+def set_mode(mode: str | None) -> None:
+    """Force an interpreter mode process-wide (None restores env lookup)."""
+    global _mode_override
+    _mode_override = _validate_mode(mode) if mode is not None else None
+
+
+@contextmanager
+def interp_scope(mode: str):
+    """Temporarily force an interpreter mode (tests, differential runs)."""
+    global _mode_override
+    previous = _mode_override
+    _mode_override = _validate_mode(mode)
+    try:
+        yield
+    finally:
+        _mode_override = previous
+
+
+def make_interpreter(
+    program: Program,
+    wram: Wram,
+    dma: DmaEngine,
+    *,
+    mode: str | None = None,
+    **kwargs,
+) -> Interpreter:
+    """Construct the interpreter selected by ``mode`` (default: current_mode).
+
+    Keyword arguments are forwarded to the interpreter constructor
+    (``n_tasklets``, ``opt_level``, ``max_instructions``, ``inject``).
+    """
+    resolved = _validate_mode(mode) if mode is not None else current_mode()
+    if resolved == "reference":
+        return Interpreter(program, wram, dma, **kwargs)
+    from repro.dpu.fastpath import FastInterpreter  # deferred: avoids cycle
+
+    return FastInterpreter(program, wram, dma, **kwargs)
+
+
 def run_program(
     program: Program,
     *,
@@ -384,7 +452,7 @@ def run_program(
     wram = wram or Wram()
     if dma is None:
         dma = DmaEngine(Mram(), wram)
-    interpreter = Interpreter(
+    interpreter = make_interpreter(
         program, wram, dma, n_tasklets=n_tasklets, opt_level=opt_level
     )
     return interpreter.run(), wram

@@ -101,6 +101,26 @@ BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
 #: Link register used by JAL (RISC convention, register 31).
 LINK_REGISTER = 31
 
+#: Opcodes a straight-line *run* may retire without re-entering the
+#: scheduler: sequential control flow, no stall, no cross-tasklet
+#: interaction.  The fast interpreter retires whole runs of these in one
+#: scheduler event (timing-identical: the dispatch interval is constant
+#: between events).
+STRAIGHT_LINE_OPS = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.MUL8, Opcode.SLT,
+        Opcode.SLTU, Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+        Opcode.LSLI, Opcode.LSRI, Opcode.ASRI, Opcode.LI, Opcode.MOVE,
+        Opcode.TID, Opcode.LW, Opcode.LH, Opcode.LB, Opcode.SW,
+        Opcode.SH, Opcode.SB, Opcode.NOP,
+    }
+)
+
+#: The complement: opcodes that end a run (control transfer, stalls,
+#: synchronization, instrumentation reading the clock, or HALT).
+RUN_BREAKING_OPS = frozenset(set(Opcode) - STRAIGHT_LINE_OPS)
+
 #: Hardware mutexes available to ACQUIRE/RELEASE (the DPU provides a small
 #: fixed pool; 56 in the real hardware, rounded here to a power of two).
 MUTEX_COUNT = 64

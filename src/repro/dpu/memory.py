@@ -35,13 +35,35 @@ _MRAM_PAGE_BYTES = 64 * 1024
 
 
 class Wram:
-    """64 KB working RAM with single-cycle access."""
+    """64 KB working RAM with single-cycle access.
+
+    The backing buffer is a numpy uint8 array, but byte-level traffic (the
+    interpreter's loads/stores, the DMA engine) goes through a cached
+    ``memoryview`` — creating a numpy slice object per 1/2/4-byte access
+    costs more than the access itself.  A dirty span ``[lo, hi)`` records
+    every region written since :meth:`reset_dirty`, which is how the
+    parallel launch engine ships only the bytes a worker actually touched.
+    """
 
     def __init__(self, size: int = 64 * 1024) -> None:
         if size <= 0:
             raise DpuMemoryError(f"WRAM size must be positive, got {size}")
         self.size = size
+        #: Written byte span since reset_dirty(), as a mutable [lo, hi)
+        #: pair ([size, 0] = clean) so hot paths can update it in place.
+        self._dirty = [size, 0]
         self._data = np.zeros(size, dtype=np.uint8)
+
+    @property
+    def _data(self) -> np.ndarray:
+        return self._buf
+
+    @_data.setter
+    def _data(self, array: np.ndarray) -> None:
+        # Assigned directly by Dpu.apply_memory_state; keep the cached
+        # memoryview pointing at the adopted buffer.
+        self._buf = np.ascontiguousarray(array)
+        self._view = memoryview(self._buf)
 
     def _check(self, addr: int, n_bytes: int) -> None:
         if addr < 0 or n_bytes < 0 or addr + n_bytes > self.size:
@@ -49,23 +71,38 @@ class Wram:
                 f"WRAM access [{addr}, {addr + n_bytes}) outside [0, {self.size})"
             )
 
+    def _mark_dirty(self, addr: int, n_bytes: int) -> None:
+        dirty = self._dirty
+        if addr < dirty[0]:
+            dirty[0] = addr
+        if addr + n_bytes > dirty[1]:
+            dirty[1] = addr + n_bytes
+
     def read(self, addr: int, n_bytes: int) -> bytes:
         """Read ``n_bytes`` starting at ``addr``."""
         self._check(addr, n_bytes)
-        return self._data[addr : addr + n_bytes].tobytes()
+        return self._view[addr : addr + n_bytes].tobytes()
+
+    def read_view(self, addr: int, n_bytes: int) -> memoryview:
+        """Zero-copy view of ``n_bytes`` at ``addr`` (valid until written)."""
+        self._check(addr, n_bytes)
+        return self._view[addr : addr + n_bytes]
 
     def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
         """Write a byte string starting at ``addr``."""
-        buf = np.frombuffer(bytes(data), dtype=np.uint8)
-        self._check(addr, buf.size)
-        self._data[addr : addr + buf.size] = buf
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            data = bytes(data)
+        n_bytes = len(data)
+        self._check(addr, n_bytes)
+        self._view[addr : addr + n_bytes] = data
+        self._mark_dirty(addr, n_bytes)
 
     def read_array(self, addr: int, dtype: np.dtype | str, count: int) -> np.ndarray:
         """Read ``count`` little-endian items of ``dtype`` starting at ``addr``."""
         dt = np.dtype(dtype)
         self._check(addr, dt.itemsize * count)
         return (
-            self._data[addr : addr + dt.itemsize * count]
+            self._buf[addr : addr + dt.itemsize * count]
             .view(dt)
             .copy()
         )
@@ -74,7 +111,8 @@ class Wram:
         """Write an array's little-endian byte image starting at ``addr``."""
         raw = np.ascontiguousarray(values).view(np.uint8).reshape(-1)
         self._check(addr, raw.size)
-        self._data[addr : addr + raw.size] = raw
+        self._buf[addr : addr + raw.size] = raw
+        self._mark_dirty(addr, raw.size)
 
     def read_u32(self, addr: int) -> int:
         return int(self.read_array(addr, np.uint32, 1)[0])
@@ -84,7 +122,18 @@ class Wram:
 
     def clear(self) -> None:
         """Zero the whole WRAM (used between launches in tests)."""
-        self._data[:] = 0
+        self._buf[:] = 0
+        self._mark_dirty(0, self.size)
+
+    def reset_dirty(self) -> None:
+        """Forget the write history (start of a tracked execution)."""
+        self._dirty[0] = self.size
+        self._dirty[1] = 0
+
+    def dirty_span(self) -> tuple[int, int] | None:
+        """``(lo, hi)`` byte span written since reset, or None if clean."""
+        lo, hi = self._dirty
+        return (lo, hi) if lo < hi else None
 
 
 class Iram:
@@ -134,6 +183,8 @@ class Mram:
             raise DpuMemoryError(f"MRAM size must be positive, got {size}")
         self.size = size
         self._pages: dict[int, np.ndarray] = {}
+        #: Indices of pages written since reset_dirty() (delta shipping).
+        self._dirty: set[int] = set()
 
     def _check(self, addr: int, n_bytes: int) -> None:
         if addr < 0 or n_bytes < 0 or addr + n_bytes > self.size:
@@ -151,7 +202,16 @@ class Mram:
     def read(self, addr: int, n_bytes: int) -> bytes:
         """Read ``n_bytes`` starting at ``addr`` (host-side / DMA use)."""
         self._check(addr, n_bytes)
+        page_index, offset = divmod(addr, _MRAM_PAGE_BYTES)
+        if offset + n_bytes <= _MRAM_PAGE_BYTES:
+            # Within one page (every DMA beat: 2048 <= page size): one
+            # allocation, no per-page copy loop.
+            page = self._pages.get(page_index)
+            if page is None:
+                return bytes(n_bytes)
+            return memoryview(page)[offset : offset + n_bytes].tobytes()
         out = bytearray(n_bytes)
+        view = memoryview(out)
         pos = 0
         while pos < n_bytes:
             a = addr + pos
@@ -159,22 +219,44 @@ class Mram:
             chunk = min(n_bytes - pos, _MRAM_PAGE_BYTES - offset)
             page = self._pages.get(page_index)
             if page is not None:
-                out[pos : pos + chunk] = page[offset : offset + chunk].tobytes()
+                view[pos : pos + chunk] = memoryview(page)[offset : offset + chunk]
             pos += chunk
         return bytes(out)
 
+    def read_view(self, addr: int, n_bytes: int) -> "memoryview | bytes":
+        """Zero-copy view when the range lies in one resident page.
+
+        Falls back to a materialized ``bytes`` for absent pages (all
+        zeros, without allocating the page) and page-crossing ranges.
+        """
+        self._check(addr, n_bytes)
+        page_index, offset = divmod(addr, _MRAM_PAGE_BYTES)
+        if offset + n_bytes <= _MRAM_PAGE_BYTES:
+            page = self._pages.get(page_index)
+            if page is None:
+                return bytes(n_bytes)
+            return memoryview(page)[offset : offset + n_bytes]
+        return self.read(addr, n_bytes)
+
     def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
         """Write a byte string starting at ``addr`` (host-side / DMA use)."""
-        data = bytes(data)
-        self._check(addr, len(data))
+        if isinstance(data, memoryview):
+            if not data.c_contiguous:
+                data = bytes(data)
+        elif not isinstance(data, (bytes, bytearray)):
+            data = bytes(data)
+        n_bytes = len(data)
+        self._check(addr, n_bytes)
+        if n_bytes == 0:
+            return
+        src = np.frombuffer(data, dtype=np.uint8)
         pos = 0
-        while pos < len(data):
+        while pos < n_bytes:
             a = addr + pos
             page_index, offset = divmod(a, _MRAM_PAGE_BYTES)
-            chunk = min(len(data) - pos, _MRAM_PAGE_BYTES - offset)
-            self._page(page_index)[offset : offset + chunk] = np.frombuffer(
-                data[pos : pos + chunk], dtype=np.uint8
-            )
+            chunk = min(n_bytes - pos, _MRAM_PAGE_BYTES - offset)
+            self._page(page_index)[offset : offset + chunk] = src[pos : pos + chunk]
+            self._dirty.add(page_index)
             pos += chunk
 
     def read_array(self, addr: int, dtype: np.dtype | str, count: int) -> np.ndarray:
@@ -188,6 +270,14 @@ class Mram:
     def resident_bytes(self) -> int:
         """Bytes of host memory actually backing this MRAM (sparse pages)."""
         return len(self._pages) * _MRAM_PAGE_BYTES
+
+    def reset_dirty(self) -> None:
+        """Forget the write history (start of a tracked execution)."""
+        self._dirty.clear()
+
+    def dirty_pages(self) -> list[int]:
+        """Sorted indices of pages written since :meth:`reset_dirty`."""
+        return sorted(self._dirty)
 
 
 class DmaEngine:
@@ -238,13 +328,13 @@ class DmaEngine:
     def mram_to_wram(self, mram_addr: int, wram_addr: int, n_bytes: int) -> int:
         """Copy MRAM -> WRAM; returns the cycles the transfer cost."""
         self._validate(mram_addr, wram_addr, n_bytes)
-        self.wram.write(wram_addr, self.mram.read(mram_addr, n_bytes))
+        self.wram.write(wram_addr, self.mram.read_view(mram_addr, n_bytes))
         return self._charge(n_bytes)
 
     def wram_to_mram(self, wram_addr: int, mram_addr: int, n_bytes: int) -> int:
         """Copy WRAM -> MRAM; returns the cycles the transfer cost."""
         self._validate(mram_addr, wram_addr, n_bytes)
-        self.mram.write(mram_addr, self.wram.read(wram_addr, n_bytes))
+        self.mram.write(mram_addr, self.wram.read_view(wram_addr, n_bytes))
         return self._charge(n_bytes)
 
     def reset_counters(self) -> None:

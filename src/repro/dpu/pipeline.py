@@ -151,6 +151,30 @@ class TaskletClock:
         self.retired[tasklet_id] += 1
         return now
 
+    def dispatch_run(
+        self, tasklet_id: int, count: int, extra_stall_cycles: float = 0.0
+    ) -> float:
+        """Dispatch ``count`` back-to-back instructions for one tasklet.
+
+        Exactly equivalent to ``count`` calls to :meth:`dispatch` with the
+        stall charged on the last one: the dispatch interval is constant
+        between scheduler events, and every cycle value is an
+        integer-valued float below 2**53, so ``now + count * interval``
+        is bit-identical to ``count`` repeated additions.  This is what
+        lets the fast interpreter retire a whole stall-free straight-line
+        run in one scheduler entry without changing a single reported
+        cycle.
+        """
+        if count < 0:
+            raise DpuLimitError(f"negative dispatch run length: {count}")
+        now = self.next_ready[tasklet_id]
+        interval = dispatch_interval(self.n_tasklets)
+        self.next_ready[tasklet_id] = (
+            now + count * interval + extra_stall_cycles
+        )
+        self.retired[tasklet_id] += count
+        return now
+
     def finish_cycle(self) -> float:
         """Cycle at which all tasklets have drained the pipeline."""
         if not any(self.retired):

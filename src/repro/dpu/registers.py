@@ -14,6 +14,20 @@ REGISTER_COUNT = 32
 _U32 = 0xFFFF_FFFF
 
 
+def check_register(index: int) -> int:
+    """Validate a register operand once, at decode time.
+
+    The fast interpreter pre-validates every operand index when a program
+    is decoded, so its handlers can index a plain list without the
+    per-access bounds check :class:`RegisterFile` performs.
+    """
+    if not 0 <= index < REGISTER_COUNT:
+        raise DpuFaultError(
+            f"register index {index} outside [0, {REGISTER_COUNT})"
+        )
+    return index
+
+
 class RegisterFile:
     """32 x 32-bit registers with a hardwired zero register."""
 

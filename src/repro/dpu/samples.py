@@ -363,6 +363,117 @@ def binary_conv_program(image_size: int, n_filters: int) -> SampleProgram:
     )
 
 
+@dataclass(frozen=True)
+class GemmProgram:
+    """An assembled integer GEMM with its two-operand layout contract.
+
+    ``C = A @ B`` for a (m, k) x (k, n) product with entries in [0, 255]
+    (the 8x8 hardware multiplier's exact range).  WRAM layout: A
+    row-major at 0, B row-major at ``4 * m * k``, C row-major at
+    :data:`OUTPUT_BASE`.  Rows of C are strided over tasklets, the
+    Section 4.2.3 work split.
+    """
+
+    program: Program
+    m: int
+    k: int
+    n: int
+    n_tasklets: int = 11
+
+    def run(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, ExecutionResult]:
+        """Load both operands, execute, and return (C, execution result)."""
+        a = np.ascontiguousarray(a, dtype=np.int32)
+        b = np.ascontiguousarray(b, dtype=np.int32)
+        if a.shape != (self.m, self.k) or b.shape != (self.k, self.n):
+            raise DpuError(
+                f"operand shapes {a.shape} x {b.shape} do not match the "
+                f"({self.m}, {self.k}) x ({self.k}, {self.n}) program"
+            )
+        for name, operand in (("A", a), ("B", b)):
+            if operand.min() < 0 or operand.max() > 255:
+                raise DpuError(
+                    f"{name} entries outside [0, 255], the mul8 range"
+                )
+        wram = Wram()
+        wram.write_array(0, a.reshape(-1))
+        wram.write_array(4 * self.m * self.k, b.reshape(-1))
+        result, wram = run_program(
+            self.program, wram=wram, n_tasklets=self.n_tasklets
+        )
+        c = wram.read_array(OUTPUT_BASE, np.int32, self.m * self.n)
+        return c.reshape(self.m, self.n), result
+
+
+def gemm_program(m: int, k: int, n: int, n_tasklets: int = 11) -> GemmProgram:
+    """Row-strided integer GEMM over the 8x8 hardware multiplier.
+
+    Index arithmetic also rides mul8, which is exact because every factor
+    (row index, k, n, inner index) stays within 8 bits — hence the
+    dimension bound.  The second interpreter benchmark kernel next to the
+    eBNN convolution: long stall-free inner runs broken by loads and the
+    loop branch.
+    """
+    for name, dim in (("m", m), ("k", k), ("n", n)):
+        if not 1 <= dim <= 64:
+            raise DpuError(f"GEMM dimension {name}={dim} outside [1, 64]")
+    if 4 * (m * k + k * n) > OUTPUT_BASE:
+        raise DpuError(
+            f"operands of {m}x{k} @ {k}x{n} exceed the input region "
+            f"({OUTPUT_BASE} bytes)"
+        )
+    b_base = 4 * m * k
+    source = f"""
+            tid  r1                      # first C row of this tasklet
+            li   r2, {m}
+        rowloop:
+            bge  r1, r2, finish
+            li   r3, {k}
+            mul8 r4, r1, r3
+            lsli r4, r4, 2               # byte base of A row
+            li   r5, {n}
+            mul8 r6, r1, r5
+            lsli r6, r6, 2
+            li   r7, {OUTPUT_BASE}
+            add  r6, r6, r7              # byte base of C row
+            li   r7, 0                   # j
+        colloop:
+            bge  r7, r5, rowdone
+            li   r8, 0                   # accumulator
+            li   r9, 0                   # p
+        kloop:
+            bge  r9, r3, kdone
+            lsli r10, r9, 2
+            add  r10, r10, r4
+            lw   r11, r10, 0             # A[r, p]
+            mul8 r12, r9, r5
+            add  r12, r12, r7
+            lsli r12, r12, 2
+            li   r13, {b_base}
+            add  r12, r12, r13
+            lw   r13, r12, 0             # B[p, j]
+            mul8 r14, r11, r13
+            add  r8, r8, r14
+            addi r9, r9, 1
+            j    kloop
+        kdone:
+            lsli r10, r7, 2
+            add  r10, r10, r6
+            sw   r8, r10, 0              # C[r, j]
+            addi r7, r7, 1
+            j    colloop
+        rowdone:
+            addi r1, r1, {n_tasklets}
+            j    rowloop
+        finish:
+            halt
+    """
+    return GemmProgram(
+        assemble(source, name="gemm"), m=m, k=k, n=n, n_tasklets=n_tasklets
+    )
+
+
 def _check(n_elements: int) -> None:
     if n_elements < 1:
         raise DpuError(f"need at least one element, got {n_elements}")

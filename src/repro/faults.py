@@ -80,6 +80,13 @@ class ExecFault:
 
     Knows how to raise itself so the interpreter and the kernel path need
     no knowledge of the plan that produced it.
+
+    ``at_instruction`` is a contract both interpreters honor identically:
+    the fault fires once the *total* retired-instruction count across all
+    tasklets reaches the site, and the partial memory image the trap
+    exposes matches the reference scheduler's per-instruction interleave
+    bit for bit (the fast interpreter single-steps while an injection is
+    pending for exactly this reason).
     """
 
     kind: FaultKind

@@ -9,8 +9,10 @@ interpreter/kernel executions across a ``ProcessPoolExecutor``:
 * DPUs are split into one contiguous chunk per worker to amortize IPC;
 * each chunk ships the loaded image plus every member DPU's sparse MRAM
   pages and WRAM (:class:`~repro.dpu.device.DpuMemoryState`);
-* the worker reconstructs each DPU, launches it, and ships back the
-  mutated memories, the execution result, the DMA counter deltas, and a
+* the worker reconstructs each DPU, launches it, and ships back only the
+  memory the run *wrote* (:class:`~repro.dpu.device.DpuMemoryDelta`:
+  dirty MRAM pages plus the dirty WRAM span — O(touched), not
+  O(memory)), the execution result, the DMA counter deltas, and a
   metrics delta (:meth:`MetricsRegistry.delta_since`);
 * the parent adopts the memories, accumulates DMA counters, merges the
   metrics delta into ``GLOBAL_METRICS``, and re-emits the per-DPU
@@ -41,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro import faults, telemetry
+from repro.dpu import interpreter as interp
 from repro.dpu.attributes import UpmemAttributes
 from repro.dpu.costs import OptLevel
 from repro.dpu.device import Dpu, DpuImage, DpuMemoryState
@@ -155,6 +158,11 @@ class ChunkTask:
     fault_plan: Any = None
     fault_policy: str = "raise"
     max_retries: int = 0
+    #: Interpreter mode of the launching process, shipped explicitly:
+    #: pool workers are forked once and reused, so a later change to
+    #: ``REPRO_INTERP`` / ``set_mode`` in the parent would otherwise never
+    #: reach them.
+    interp_mode: str = "fast"
 
 
 @dataclass
@@ -162,15 +170,18 @@ class DpuLaunchOutcome:
     """One DPU's outcome: status, mutated memories, timing, DMA deltas.
 
     ``status`` is ``"ok"``, ``"faulted"`` (the program trapped), or
-    ``"hung"`` (straggler past the cycle deadline).  A failed DPU under a
-    tolerant policy ships ``result=None`` and its *pre-launch* memory, so
-    the parent restores a known-good state instead of adopting a
-    half-executed one.
+    ``"hung"`` (straggler past the cycle deadline).  A successful DPU
+    ships a :class:`~repro.dpu.device.DpuMemoryDelta` — only the MRAM
+    pages and WRAM span the execution wrote — and leaves ``memory`` None.
+    A failed DPU under a tolerant policy ships ``result=None`` and its
+    full *pre-launch* memory, so the parent restores a known-good state
+    instead of adopting a half-executed one.
     """
 
     index: int
     memory: DpuMemoryState | None
     result: Any  # ExecutionResult | KernelResult | None
+    delta: Any = None  # DpuMemoryDelta | None
     dma_cycles: int = 0
     dma_bytes: int = 0
     dma_transfers: int = 0
@@ -214,6 +225,9 @@ def _run_order(task: ChunkTask, order: DpuWorkOrder) -> DpuLaunchOutcome:
             order.memory if attempt == 0 else _copy_memory_state(pristine)
         )
         dpu.load(task.image)
+        # Track writes from here: a retry re-applies pristine memory above,
+        # so rolled-back pages from the failed attempt are not shipped.
+        dpu.reset_memory_dirty()
         try:
             result = dpu.launch(
                 n_tasklets=task.n_tasklets,
@@ -244,7 +258,8 @@ def _run_order(task: ChunkTask, order: DpuWorkOrder) -> DpuLaunchOutcome:
         # this launch's deltas; the parent accumulates them.
         return DpuLaunchOutcome(
             index=order.index,
-            memory=dpu.export_memory_state(),
+            memory=None,
+            delta=dpu.export_memory_delta(),
             result=result,
             dma_cycles=dpu.dma.total_cycles,
             dma_bytes=dpu.dma.total_bytes,
@@ -273,6 +288,9 @@ def _run_chunk(task: ChunkTask, in_worker: bool = True) -> ChunkOutcome:
         # be silently lost, so tracing is disabled here and the parent
         # re-emits the per-DPU spans from the shipped results.
         telemetry.uninstall_tracer()
+        # Run the interpreter flavor the parent was using: reused pool
+        # workers would otherwise keep whatever mode they forked with.
+        interp.set_mode(task.interp_mode)
         # Pool processes are reused across launches; always reset to this
         # task's plan (which may be None).
         faults.install_plan(task.fault_plan)
@@ -438,6 +456,7 @@ def launch_parallel(
                 fault_plan=plan,
                 fault_policy=fault_policy,
                 max_retries=max_retries,
+                interp_mode=interp.current_mode(),
             )
         )
     pool = _executor(workers)
@@ -506,7 +525,9 @@ def launch_parallel(
             telemetry.GLOBAL_METRICS.merge_delta(chunk_outcome.metrics_delta)
         for outcome in chunk_outcome.outcomes:
             dpu = dpus[outcome.index]
-            if outcome.memory is not None:
+            if outcome.delta is not None:
+                dpu.apply_memory_delta(outcome.delta)
+            elif outcome.memory is not None:
                 dpu.apply_memory_state(outcome.memory)
             if outcome.ok:
                 dpu.dma.total_cycles += outcome.dma_cycles

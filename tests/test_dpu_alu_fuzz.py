@@ -93,3 +93,209 @@ def test_alu_sequences_match_reference(steps, initial):
 
     actual = wram.read_array(0, np.uint32, _REGS)
     assert actual.tolist() == regs
+
+# ---------------------------------------------------------------------------
+# Differential fuzz: fast interpreter vs reference interpreter.
+#
+# Where the ALU fuzz above checks the reference against a pure-python
+# model, these checks pit the two interpreter implementations against
+# each other on structured random programs that exercise everything the
+# fast path rewrites: branches, WRAM loads/stores, DMA transfers, mutex
+# contention, barriers, runtime CALLs, perf counters — and injected
+# faults, which must trap at the same retired-instruction site with the
+# same partial memory image.
+# ---------------------------------------------------------------------------
+
+from repro import faults
+from repro.dpu.interpreter import make_interpreter
+from repro.dpu.memory import DmaEngine, Mram, Wram
+from repro.errors import DpuFaultError
+
+_SEG_OPS = _OPS  # segment bodies reuse the three-register ALU pool
+
+_alu_step = st.tuples(
+    st.sampled_from(_SEG_OPS),
+    st.integers(1, _REGS),
+    st.integers(1, _REGS),
+    st.integers(1, _REGS),
+)
+
+segment = st.one_of(
+    st.tuples(st.just("alu"), st.lists(_alu_step, min_size=1, max_size=6),
+              st.booleans()),
+    st.tuples(st.just("loadstore"), st.integers(1, _REGS),
+              st.integers(1, _REGS)),
+    st.tuples(st.just("dma"), st.sampled_from(("ldma", "sdma")),
+              st.integers(1, _REGS), st.integers(1, _REGS),
+              st.sampled_from((8, 16, 32))),
+    st.tuples(st.just("mutex"), st.integers(0, 3),
+              st.lists(_alu_step, min_size=0, max_size=3)),
+    st.tuples(st.just("barrier")),
+    st.tuples(st.just("call"), st.sampled_from(
+        ("__mulsi3", "__addsf3", "__mulsf3", "__udivsi3", "__modsi3"))),
+    st.tuples(st.just("perf"), st.integers(1, _REGS)),
+    st.tuples(st.just("loop"), st.integers(2, 4),
+              st.lists(_alu_step, min_size=1, max_size=3)),
+)
+
+segment_lists = st.lists(segment, min_size=1, max_size=8)
+
+
+def _build_program(segments):
+    """Assemble a terminating, data-race-free program from descriptors.
+
+    Control flow is structured so every tasklet reaches every barrier:
+    branches only skip forward within a segment, and loops count down a
+    dedicated register.  Mutex regions are properly bracketed, so the
+    only cross-tasklet blocking is contention, never deadlock.
+
+    Memory traffic is either tasklet-private (a 256-byte WRAM window at
+    ``8192 + tid * 256``, a 4 KiB MRAM window at ``tid * 4096``) or
+    mutex-protected (a shared accumulator cell per mutex id).  Racy
+    unsynchronized sharing is deliberately absent: its outcome depends
+    on the global retirement interleave, which the fast interpreter's
+    batched runs reorder — the equivalence contract covers synchronized
+    programs only (see the ``fastpath`` module docstring).
+    """
+    lines = [
+        "perf_config",        # licenses any later perf_get
+        "tid  r8",
+        "lsli r8, r8, 6",     # tid * 64: mixes tasklet id into the data
+        "tid  r13",
+        "lsli r13, r13, 8",
+        "addi r13, r13, 8192",  # private WRAM window base
+        "tid  r14",
+        "lsli r14, r14, 12",    # private MRAM window base
+        "li   r10, 1024",
+    ]
+    for i in range(_REGS):
+        lines.append(f"lw r{i + 1}, r10, {4 * i}")
+    lines.append("add r1, r1, r8")  # tasklet-dependent state
+
+    n_labels = 0
+    for seg in segments:
+        kind = seg[0]
+        if kind == "alu":
+            _, steps, with_skip = seg
+            end = f"S{n_labels}"
+            n_labels += 1
+            body = [f"{op} r{rd}, r{rs}, r{rt}" for op, rd, rs, rt in steps]
+            if with_skip and len(body) > 1:
+                body.insert(1, f"blt r1, r2, {end}")
+            lines.extend(body)
+            lines.append(f"{end}:")
+        elif kind == "loadstore":
+            _, rs, rd = seg
+            lines.extend([
+                f"andi r11, r{rs}, 252",    # offset in the private window
+                "add  r11, r11, r13",
+                "lw   r7, r11, 0",
+                f"add  r{rd}, r{rd}, r7",
+                f"andi r11, r{rd}, 252",
+                "add  r11, r11, r13",
+                "sw   r7, r11, 0",
+            ])
+        elif kind == "dma":
+            _, op, ra, rb, size = seg
+            lines.extend([
+                f"andi r11, r{ra}, 216",    # 8-aligned, fits the window
+                "add  r11, r11, r13",       # private WRAM window
+                f"andi r12, r{rb}, 4056",   # 8-aligned, fits the window
+                "add  r12, r12, r14",       # private MRAM window
+                f"{op} r11, r12, {size}",
+            ])
+        elif kind == "mutex":
+            _, mutex_id, steps = seg
+            # The critical section bumps a shared accumulator: the one
+            # cross-tasklet data flow the equivalence contract covers.
+            cell = 448 + 4 * mutex_id
+            lines.append(f"acquire {mutex_id}")
+            lines.append(f"li   r11, {cell}")
+            lines.append("lw   r7, r11, 0")
+            lines.append("add  r7, r7, r1")
+            lines.append("sw   r7, r11, 0")
+            lines.extend(f"{op} r{rd}, r{rs}, r{rt}"
+                         for op, rd, rs, rt in steps)
+            lines.append(f"release {mutex_id}")
+        elif kind == "barrier":
+            lines.append("barrier")
+        elif kind == "call":
+            _, name = seg
+            lines.append("ori r2, r2, 1")  # divisor never zero
+            lines.append(f"call {name}")
+        elif kind == "perf":
+            _, rd = seg
+            lines.append(f"perf_get r{rd}")
+        elif kind == "loop":
+            _, trips, steps = seg
+            top = f"S{n_labels}"
+            n_labels += 1
+            lines.append(f"li r9, {trips}")
+            lines.append(f"{top}:")
+            lines.extend(f"{op} r{rd}, r{rs}, r{rt}"
+                         for op, rd, rs, rt in steps)
+            lines.append("addi r9, r9, -1")
+            lines.append(f"bne r9, r0, {top}")
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+
+    lines.append("tid  r11")
+    lines.append("lsli r11, r11, 5")  # tid * 32: private result area
+    for i in range(_REGS):
+        lines.append(f"sw r{i + 1}, r11, {512 + 4 * i}")
+    lines.append("halt")
+    return assemble("\n".join(lines))
+
+
+def _seeded_memories(initial):
+    wram = Wram()
+    wram.write_array(1024, np.array(initial, dtype=np.uint32))
+    mram = Mram()
+    mram.write(0, bytes((np.arange(66_000) * 131 % 256).astype(np.uint8)))
+    return wram, mram
+
+
+def _run_mode(program, initial, mode, n_tasklets, inject=None):
+    """One differential leg: returns (outcome, wram bytes, mram pages)."""
+    wram, mram = _seeded_memories(initial)
+    interpreter = make_interpreter(
+        program, wram, DmaEngine(mram, wram), mode=mode,
+        n_tasklets=n_tasklets, inject=inject,
+    )
+    try:
+        outcome = interpreter.run()
+    except DpuFaultError as err:
+        outcome = ("fault", str(err))
+    pages = {index: page.tobytes() for index, page in mram._pages.items()}
+    return outcome, wram.read(0, wram.size), pages
+
+
+@given(segment_lists, initial_values, st.sampled_from((1, 4, 11)))
+@settings(max_examples=60, deadline=None)
+def test_differential_fast_vs_reference(segments, initial, n_tasklets):
+    program = _build_program(segments)
+    fast = _run_mode(program, initial, "fast", n_tasklets)
+    reference = _run_mode(program, initial, "reference", n_tasklets)
+    assert fast[0] == reference[0]   # full ExecutionResult dataclass
+    assert fast[1] == reference[1]   # WRAM image
+    assert fast[2] == reference[2]   # MRAM pages
+
+
+@given(segment_lists, initial_values, st.sampled_from((1, 4)),
+       st.integers(0, 300))
+@settings(max_examples=40, deadline=None)
+def test_differential_fault_injection(segments, initial, n_tasklets, site):
+    """Injected faults trap at the same site with the same partial state."""
+    program = _build_program(segments)
+
+    def event():
+        return faults.ExecFault(
+            kind=faults.FaultKind.FAULT, dpu_id=7, attempt=1,
+            at_instruction=site,
+        )
+
+    fast = _run_mode(program, initial, "fast", n_tasklets, inject=event())
+    reference = _run_mode(
+        program, initial, "reference", n_tasklets, inject=event()
+    )
+    assert fast == reference

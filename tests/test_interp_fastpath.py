@@ -1,0 +1,564 @@
+"""Fast-interpreter equivalence, dirty-memory tracking, delta shipping.
+
+The fast interpreter (``repro.dpu.fastpath``) must be observationally
+indistinguishable from the reference: identical :class:`ExecutionResult`
+(cycles, stalls, per-tasklet counters, profile, perfcounter values),
+identical memory images, identical errors with identical messages, and
+fault-injection sites that fire at exactly the same retired-instruction
+count.  These tests drive both implementations side by side; the
+differential fuzz in ``test_dpu_alu_fuzz.py`` covers randomized programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.dpu import interpreter as interp
+from repro.dpu import samples
+from repro.dpu.assembler import assemble
+from repro.dpu.device import Dpu, DpuImage, DpuMemoryDelta
+from repro.dpu.fastpath import FastInterpreter
+from repro.dpu.interpreter import Interpreter, make_interpreter
+from repro.dpu.memory import DmaEngine, Mram, Wram
+from repro.dpu.pipeline import TaskletClock
+from repro.errors import DpuError, DpuFaultError, DpuLimitError
+
+MRAM_PAGE = 64 * 1024
+
+
+def _fresh(mram_size=64 * 1024 * 1024):
+    wram = Wram()
+    mram = Mram(mram_size)
+    return wram, mram, DmaEngine(mram, wram)
+
+
+def _mram_image(mram):
+    return {index: page.tobytes() for index, page in mram._pages.items()}
+
+
+def run_both(program, *, n_tasklets=1, setup=None, **kwargs):
+    """Run under both modes; assert results and memories are identical."""
+    outcomes = {}
+    for mode in ("fast", "reference"):
+        wram, mram, dma = _fresh()
+        if setup is not None:
+            setup(wram, mram)
+        it = make_interpreter(
+            program, wram, dma, mode=mode, n_tasklets=n_tasklets, **kwargs
+        )
+        result = it.run()
+        outcomes[mode] = (result, wram.read(0, wram.size), _mram_image(mram))
+    fast, reference = outcomes["fast"], outcomes["reference"]
+    assert fast[0] == reference[0]
+    assert fast[1] == reference[1]
+    assert fast[2] == reference[2]
+    return fast[0]
+
+
+def raises_both(program, *, n_tasklets=1, setup=None, **kwargs):
+    """Both modes must raise the same error type with the same message."""
+    seen = {}
+    for mode in ("fast", "reference"):
+        wram, mram, dma = _fresh()
+        if setup is not None:
+            setup(wram, mram)
+        it = make_interpreter(
+            program, wram, dma, mode=mode, n_tasklets=n_tasklets, **kwargs
+        )
+        with pytest.raises(DpuError) as excinfo:
+            it.run()
+        seen[mode] = (type(excinfo.value), str(excinfo.value), wram.read(0, wram.size))
+    assert seen["fast"][0] is seen["reference"][0]
+    assert seen["fast"][1] == seen["reference"][1]
+    # Side effects retired before the error must also agree.
+    assert seen["fast"][2] == seen["reference"][2]
+    return seen["fast"]
+
+
+class TestModeSelection:
+    def test_default_mode_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INTERP", raising=False)
+        interp.set_mode(None)
+        assert interp.current_mode() == "fast"
+        wram, _, dma = _fresh()
+        it = make_interpreter(assemble("halt"), wram, dma)
+        assert isinstance(it, FastInterpreter)
+
+    def test_env_selects_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INTERP", "reference")
+        interp.set_mode(None)
+        wram, _, dma = _fresh()
+        it = make_interpreter(assemble("halt"), wram, dma)
+        assert type(it) is Interpreter
+
+    def test_scope_overrides_and_restores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INTERP", raising=False)
+        interp.set_mode(None)
+        with interp.interp_scope("reference"):
+            assert interp.current_mode() == "reference"
+        assert interp.current_mode() == "fast"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown interpreter mode"):
+            interp.set_mode("turbo")
+        wram, _, dma = _fresh()
+        with pytest.raises(ValueError, match="unknown interpreter mode"):
+            make_interpreter(assemble("halt"), wram, dma, mode="turbo")
+
+
+class TestSampleEquivalence:
+    """Every sample kernel, at several tasklet counts, bit-for-bit."""
+
+    @pytest.mark.parametrize("n_tasklets", [1, 3, 11, 16])
+    def test_binary_conv(self, n_tasklets):
+        sp = samples.binary_conv_program(image_size=8, n_filters=max(n_tasklets, 1))
+        run_both(sp.program, n_tasklets=n_tasklets)
+
+    @pytest.mark.parametrize("n_tasklets", [1, 5, 11])
+    def test_gemm(self, n_tasklets):
+        gp = samples.gemm_program(6, 7, 5, n_tasklets=n_tasklets)
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, 42).astype(np.int32)
+        b = rng.integers(0, 256, 35).astype(np.int32)
+
+        def setup(wram, mram):
+            wram.write_array(0, a)
+            wram.write_array(4 * 42, b)
+
+        run_both(gp.program, n_tasklets=n_tasklets, setup=setup)
+
+    @pytest.mark.parametrize("builder", [
+        samples.copy_program,
+        samples.relu_program,
+        samples.reduction_program,
+        samples.dot_product_program,
+    ])
+    @pytest.mark.parametrize("n_tasklets", [1, 4, 11])
+    def test_strided_kernels(self, builder, n_tasklets):
+        sp = builder(48, n_tasklets=n_tasklets)
+
+        def setup(wram, mram):
+            values = (np.arange(96, dtype=np.int32) * 37) % 251
+            wram.write_array(0, values)  # covers the second operand too
+
+        run_both(sp.program, n_tasklets=n_tasklets, setup=setup)
+
+    def test_mram_copy_dma(self):
+        program = samples.mram_copy_program(6, chunk_bytes=512)
+
+        def setup(wram, mram):
+            mram.write(0, bytes(range(256)) * 12)
+
+        result = run_both(program, setup=setup)
+        assert result.dma_transfers == 12
+        assert result.stall_cycles > 0
+
+
+class TestSemanticsEquivalence:
+    def test_barrier_timing_all_tasklet_counts(self):
+        # Tasklets arrive staggered (tid-dependent spin) so the last
+        # arrival — whose dispatch reads the release-updated ready time —
+        # is exercised at every count.
+        source = """
+                tid  r1
+                li   r2, 0
+            spin:
+                bge  r2, r1, arrived
+                addi r2, r2, 1
+                j    spin
+            arrived:
+                barrier
+                tid  r1
+                lsli r1, r1, 2
+                li   r3, 1
+                sw   r3, r1, 0
+                barrier
+                halt
+        """
+        program = assemble(source)
+        for n in (1, 2, 7, 11, 16):
+            run_both(program, n_tasklets=n)
+
+    def test_barrier_with_halted_spares(self):
+        # Spare tasklets halt before the barrier; the live ones must
+        # still release (the reference's live-set rule).
+        source = """
+                tid  r1
+                li   r2, 3
+                bge  r1, r2, finish
+                barrier
+                li   r4, 99
+                sw   r4, r0, 0
+            finish:
+                halt
+        """
+        run_both(assemble(source), n_tasklets=6)
+
+    def test_mutex_contention(self):
+        sp = samples.dot_product_program(24, n_tasklets=8)
+
+        def setup(wram, mram):
+            wram.write_array(0, (np.arange(48, dtype=np.int32) * 7) % 200)
+
+        run_both(sp.program, n_tasklets=8, setup=setup)
+
+    def test_perfcounter_bracket(self):
+        source = """
+                perf_config
+                li   r1, 10
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                perf_get r5
+                sw   r5, r0, 0
+                perf_config
+                perf_get r6
+                sw   r6, r0, 4
+                halt
+        """
+        result = run_both(assemble(source), n_tasklets=3)
+        assert result.perf_values  # both brackets recorded, all tasklets
+
+    def test_runtime_calls_and_profile(self):
+        source = """
+                li   r1, 1078530011     # pi as binary32
+                li   r2, 1073741824     # 2.0f
+                call __mulsf3
+                sw   r1, r0, 0
+                li   r1, 123456
+                li   r2, 789
+                call __mulsi3
+                sw   r1, r0, 4
+                li   r1, 1000
+                li   r2, 7
+                call __modsi3
+                sw   r1, r0, 8
+                halt
+        """
+        result = run_both(assemble(source), n_tasklets=2)
+        assert result.profile.occurrences("__mulsf3") == 2
+        assert result.stall_cycles > 0
+
+    def test_jal_jr_linkage(self):
+        source = """
+                li   r2, 5
+                jal  double
+                sw   r1, r0, 0
+                halt
+            double:
+                add  r1, r2, r2
+                jr   r31
+        """
+        run_both(assemble(source), n_tasklets=2)
+
+    def test_branch_into_middle_of_run(self):
+        # The jump lands mid-run; the suffix run length must apply.
+        source = """
+                li   r1, 1
+                j    middle
+                addi r1, r1, 100
+            middle:
+                addi r1, r1, 1
+                addi r1, r1, 1
+                sw   r1, r0, 0
+                halt
+        """
+        run_both(assemble(source))
+
+    def test_fall_off_end_halts_without_retiring(self):
+        program = assemble("addi r1, r1, 1\naddi r1, r1, 2")  # no halt
+        result = run_both(program, n_tasklets=4)
+        assert result.per_tasklet_instructions == [2, 2, 2, 2]
+
+    def test_spare_tasklets_retire_nothing(self):
+        source = """
+                tid  r1
+                bne  r1, r0, finish
+                addi r2, r2, 1
+                sw   r2, r0, 0
+            finish:
+                halt
+        """
+        result = run_both(assemble(source), n_tasklets=5)
+        assert result.per_tasklet_cycles[0] > 0
+
+
+class TestErrorEquivalence:
+    def test_wram_out_of_bounds(self):
+        raises_both(assemble("li r1, 65535\nlw r2, r1, 0\nhalt"))
+        raises_both(assemble("li r1, 65534\nli r2, 7\nsw r2, r1, 0\nhalt"))
+
+    def test_mutex_reacquire(self):
+        err = raises_both(assemble("acquire 3\nacquire 3\nhalt"))
+        assert err[0] is DpuFaultError
+        assert "re-acquired mutex 3" in err[1]
+
+    def test_release_not_held(self):
+        err = raises_both(assemble("release 5\nhalt"))
+        assert "does not hold" in err[1]
+
+    def test_mutex_holder_halted_deadlock(self):
+        source = """
+                tid  r1
+                bne  r1, r0, waiter
+                acquire 2
+                halt
+            waiter:
+                acquire 2
+                halt
+        """
+        err = raises_both(assemble(source), n_tasklets=2)
+        assert "halted without releasing" in err[1]
+
+    def test_barrier_after_early_halt_releases_survivors(self):
+        # Tasklet 0 halts before the barrier; the live-set release rule
+        # must still free the others, identically in both modes.
+        source = """
+                tid  r1
+                bne  r1, r0, skip
+                halt
+            skip:
+                barrier
+                lsli r2, r1, 2
+                sw   r1, r2, 0
+                halt
+        """
+        run_both(assemble(source), n_tasklets=3)
+
+    def test_perf_get_unconfigured(self):
+        err = raises_both(assemble("perf_get r1\nhalt"))
+        assert "before perfcounter_config" in err[1]
+
+    def test_unknown_runtime_call(self):
+        err = raises_both(assemble("call __nosuch\nhalt"))
+        assert "unknown runtime call" in err[1]
+
+    def test_runaway_loop_cap(self):
+        program = assemble("loop:\naddi r1, r1, 1\nj loop")
+        err = raises_both(program, max_instructions=500)
+        assert err[0] is DpuLimitError
+        assert "exceeded 500 retired instructions" in err[1]
+
+    def test_runaway_cap_mid_straight_line_run(self):
+        # The cap lands inside a long stall-free run: the fast path must
+        # split the run and stop at exactly the same retired count.
+        body = "\n".join("addi r1, r1, 1" for _ in range(60))
+        program = assemble(body + "\nhalt")
+        err = raises_both(program, max_instructions=37)
+        assert "exceeded 37" in err[1]
+
+    def test_dma_misaligned(self):
+        err = raises_both(assemble("li r1, 4\nli r2, 0\nldma r1, r2, 8\nhalt"))
+        assert "not 8-byte aligned" in err[1]
+
+
+class TestFaultInjectionEquivalence:
+    def _event(self, site):
+        return faults.ExecFault(
+            kind=faults.FaultKind.FAULT, dpu_id=9, attempt=0,
+            at_instruction=site,
+        )
+
+    @pytest.mark.parametrize("site", [0, 1, 17, 59])
+    def test_fires_at_exact_site_mid_run(self, site):
+        # 60 straight-line instructions: every site lands inside a run
+        # the fast path would otherwise retire in one scheduler event.
+        body = "\n".join(f"sw r1, r0, {4 * i}\naddi r1, r1, 1" for i in range(30))
+        program = assemble(body + "\nhalt")
+        err = raises_both(program, inject=self._event(site))
+        assert err[0] is DpuFaultError
+        assert f"trapped at instruction {site}" in err[1]
+
+    def test_fires_after_program_end(self):
+        program = assemble("addi r1, r1, 1\nhalt")
+        err = raises_both(program, n_tasklets=2, inject=self._event(4))
+        assert "trapped at instruction 4" in err[1]
+
+    @pytest.mark.parametrize("site", [3, 10])
+    def test_fires_across_tasklets(self, site):
+        sp = samples.reduction_program(8, n_tasklets=4)
+        err = raises_both(sp.program, n_tasklets=4, inject=self._event(site))
+        assert f"trapped at instruction {site}" in err[1]
+
+
+class TestDispatchRun:
+    def test_matches_repeated_dispatch(self):
+        a, b = TaskletClock(5), TaskletClock(5)
+        for _ in range(7):
+            a.dispatch(2)
+        a.dispatch(2, 13.0)
+        b.dispatch_run(2, 8, 13.0)
+        assert a.next_ready == b.next_ready
+        assert a.retired == b.retired
+        assert a.finish_cycle() == b.finish_cycle()
+
+    def test_zero_run_is_identity(self):
+        clock = TaskletClock(2)
+        before = list(clock.next_ready)
+        clock.dispatch_run(1, 0)
+        assert clock.next_ready == before
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(DpuLimitError, match="negative dispatch run"):
+            TaskletClock(2).dispatch_run(0, -1)
+
+
+class TestDirtyTracking:
+    def test_wram_dirty_span(self):
+        wram = Wram()
+        assert wram.dirty_span() is None
+        wram.write(100, b"\x01\x02")
+        wram.write(40, b"\x03")
+        assert wram.dirty_span() == (40, 102)
+        wram.reset_dirty()
+        assert wram.dirty_span() is None
+        wram.write_array(8, np.array([7], dtype=np.uint32))
+        assert wram.dirty_span() == (8, 12)
+
+    def test_mram_dirty_pages(self):
+        mram = Mram()
+        assert mram.dirty_pages() == []
+        mram.write(0, b"\x01")
+        mram.write(3 * MRAM_PAGE - 1, b"\x02\x03")  # crosses a boundary
+        assert mram.dirty_pages() == [0, 2, 3]
+        mram.reset_dirty()
+        assert mram.dirty_pages() == []
+
+    def test_interpreter_stores_mark_wram_dirty(self):
+        wram, mram, dma = _fresh()
+        wram.reset_dirty()
+        program = assemble("li r1, 9\nsw r1, r0, 256\nsb r1, r0, 300\nhalt")
+        make_interpreter(program, wram, dma, mode="fast").run()
+        assert wram.dirty_span() == (256, 301)
+
+    def test_dma_marks_both_sides(self):
+        wram, mram, dma = _fresh()
+        mram.write(0, bytes(16))
+        wram.reset_dirty()
+        mram.reset_dirty()
+        program = assemble(
+            "li r1, 64\nli r2, 0\nldma r1, r2, 16\n"
+            "li r2, 131072\nsdma r1, r2, 8\nhalt"
+        )
+        make_interpreter(program, wram, dma, mode="fast").run()
+        assert wram.dirty_span() == (64, 80)
+        assert mram.dirty_pages() == [2]
+
+
+class TestDeltaShipping:
+    def _loaded_dpu(self):
+        dpu = Dpu(0)
+        dpu.mram.write(0, bytes(range(64)))
+        dpu.wram.write(0, b"\xaa" * 32)
+        return dpu
+
+    def test_export_only_dirty(self):
+        dpu = self._loaded_dpu()
+        dpu.reset_memory_dirty()
+        dpu.mram.write(5 * MRAM_PAGE + 8, b"\x11" * 8)
+        dpu.wram.write(1000, b"\x22" * 4)
+        delta = dpu.export_memory_delta()
+        assert sorted(delta.mram_pages) == [5]
+        assert delta.wram_lo == 1000
+        assert delta.wram_data.tobytes() == b"\x22" * 4
+
+    def test_clean_export_is_empty(self):
+        dpu = self._loaded_dpu()
+        dpu.reset_memory_dirty()
+        delta = dpu.export_memory_delta()
+        assert delta.mram_pages == {}
+        assert delta.wram_data is None
+
+    def test_round_trip_applies(self):
+        source = self._loaded_dpu()
+        source.reset_memory_dirty()
+        source.mram.write(MRAM_PAGE, b"\x55" * 16)
+        source.wram.write(12, b"\x66" * 8)
+        delta = source.export_memory_delta()
+
+        target = self._loaded_dpu()
+        target.apply_memory_delta(delta)
+        assert target.mram.read(MRAM_PAGE, 16) == b"\x55" * 16
+        assert target.wram.read(12, 8) == b"\x66" * 8
+        # Untouched regions keep the target's own contents.
+        assert target.mram.read(0, 64) == bytes(range(64))
+
+    def test_reapply_of_aliased_delta_is_noop(self):
+        dpu = self._loaded_dpu()
+        dpu.reset_memory_dirty()
+        dpu.wram.write(4, b"\x01\x02\x03\x04")
+        delta = dpu.export_memory_delta()
+        dpu.apply_memory_delta(delta)  # in-parent rerun path: same arrays
+        assert dpu.wram.read(4, 4) == b"\x01\x02\x03\x04"
+
+    def test_oversized_wram_delta_rejected(self):
+        dpu = self._loaded_dpu()
+        bad = DpuMemoryDelta(
+            mram_pages={},
+            wram_lo=dpu.wram.size - 2,
+            wram_data=np.zeros(8, dtype=np.uint8),
+        )
+        with pytest.raises(DpuError, match="does not fit"):
+            dpu.apply_memory_delta(bad)
+
+
+class TestParallelDeltaLaunch:
+    def _image(self):
+        program = samples.mram_copy_program(
+            4, src_addr=0, dst_addr=2 * MRAM_PAGE, chunk_bytes=512
+        )
+        return DpuImage.from_symbol_layout(
+            "delta_test", program=program, layout=[("src", 2048)]
+        )
+
+    def _run(self, workers):
+        from repro.dpu.attributes import UPMEM_ATTRIBUTES
+        from repro.host.runtime import DpuSystem
+
+        system = DpuSystem(UPMEM_ATTRIBUTES.scaled(8))
+        dpu_set = system.allocate(8)
+        try:
+            dpu_set.load(self._image())
+            payloads = [bytes([i] * 2048) for i in range(8)]
+            dpu_set.scatter("src", payloads)
+            report = dpu_set.launch(workers=workers)
+            state = [
+                (
+                    dpu.mram.read(2 * MRAM_PAGE, 2048),
+                    dpu.wram.read(0, dpu.wram.size),
+                )
+                for dpu in dpu_set.dpus
+            ]
+            return list(report.per_dpu_cycles), state
+        finally:
+            system.free(dpu_set)
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = self._run(workers=1)
+        parallel = self._run(workers=2)
+        assert serial == parallel
+        # And the copy actually happened (payload landed at the target).
+        assert serial[1][3][0] == bytes([3] * 2048)
+
+    def test_worker_outcome_ships_delta_not_state(self):
+        from repro.dpu.costs import OptLevel
+        from repro.host import parallel as par
+
+        dpu = Dpu(0)
+        dpu.mram.write(0, bytes([9] * 2048))
+        task = par.ChunkTask(
+            image=self._image(),
+            attributes=dpu.attributes,
+            n_tasklets=1,
+            opt_level=OptLevel.O0,
+            kernel_params={},
+            orders=[par.DpuWorkOrder(
+                index=0, dpu_id=0, memory=dpu.export_memory_state()
+            )],
+        )
+        outcome = par._run_order(task, task.orders[0])
+        assert outcome.ok
+        assert outcome.memory is None
+        assert outcome.delta is not None
+        assert sorted(outcome.delta.mram_pages) == [2]  # only the dst page
+        assert outcome.delta.wram_data is not None  # staging buffer span
