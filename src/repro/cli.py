@@ -112,7 +112,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_path", metavar="PATH",
         help="also write the registry as JSON to PATH",
     )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve a seeded online workload through the DPU pool",
+    )
+    _add_load_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=None, metavar="N",
+        help="batcher flush size (default: REPRO_SERVE_MAX_BATCH or 16)",
+    )
+    serve_parser.add_argument(
+        "--max-delay-ms", type=float, default=None, metavar="MS",
+        help="batcher flush delay (default: REPRO_SERVE_MAX_DELAY_MS or 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-cap", type=int, default=None, metavar="N",
+        help="per-model queue bound (default: REPRO_SERVE_QUEUE_CAP or 64)",
+    )
+    serve_parser.add_argument(
+        "--system-dpus", type=int, default=16, metavar="N",
+        help="DPUs in the simulated system (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--dpus-per-model", type=int, default=4, metavar="N",
+        help="warm DPUs each model class gets in the pool (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--no-heal", action="store_true",
+        help="do not allocate replacement DPUs after fault isolation",
+    )
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="generate a seeded workload and print its shape (dry run)",
+    )
+    _add_load_arguments(loadgen_parser)
+    loadgen_parser.add_argument(
+        "--show", type=int, default=5, metavar="N",
+        help="print the first N requests (default: 5)",
+    )
     return parser
+
+
+def _add_load_arguments(parser) -> None:
+    """Workload flags shared by ``repro serve`` and ``repro loadgen``."""
+    parser.add_argument(
+        "--rps", type=float, default=2000.0, metavar="R",
+        help="offered load in requests per simulated second (default: 2000)",
+    )
+    parser.add_argument(
+        "--duration-s", type=float, default=0.01, metavar="S",
+        help="workload length in simulated seconds (default: 0.01)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed; same seed, same workload (default: 0)",
+    )
+    parser.add_argument(
+        "--mix", default="ebnn=3,yolo=1", metavar="M=W,...",
+        help="model mix as model=weight pairs (default: ebnn=3,yolo=1)",
+    )
+    parser.add_argument(
+        "--arrival-process", choices=["poisson", "uniform"],
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline relative to arrival (default: none)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -163,6 +232,10 @@ def main(argv: list[str] | None = None) -> int:
         count = write_report(args.path)
         print(f"wrote {count} experiments to {args.path}")
         return 0
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "loadgen":
+        return _loadgen(args)
     return 1  # pragma: no cover - argparse enforces the command set
 
 
@@ -193,6 +266,107 @@ def _metrics(args) -> int:
     if args.json_path:
         telemetry.GLOBAL_METRICS.dump_json(args.json_path)
         print(f"\nwrote metrics JSON to {args.json_path}")
+    return 0
+
+
+def _load_spec(args):
+    """Build a LoadSpec + payloads from the shared workload flags."""
+    from repro.errors import ServeError
+    from repro.serve import LoadSpec, default_payloads
+
+    mix = []
+    for part in args.mix.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ServeError(
+                f"--mix entries must be model=weight, got {part!r}"
+            )
+        model, _, weight = part.partition("=")
+        mix.append((model.strip(), float(weight)))
+    spec = LoadSpec(
+        rps=args.rps,
+        duration_s=args.duration_s,
+        seed=args.seed,
+        mix=tuple(mix),
+        arrival_process=args.arrival_process,
+        deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+    )
+    return spec, default_payloads()
+
+
+def _serve(args) -> int:
+    """Serve a seeded workload and print the result summary."""
+    from repro.dpu.attributes import UPMEM_ATTRIBUTES
+    from repro.host.runtime import DpuSystem
+    from repro.serve import (
+        BatchPolicy,
+        DpuPool,
+        EbnnBackend,
+        InferenceServer,
+        YoloBackend,
+        generate_load,
+    )
+
+    spec, payloads = _load_spec(args)
+    requests = generate_load(spec, payloads)
+    policy = BatchPolicy.from_env(
+        max_batch=args.max_batch,
+        max_delay_s=(
+            args.max_delay_ms / 1e3 if args.max_delay_ms is not None else None
+        ),
+        queue_cap=args.queue_cap,
+    )
+    backends = {"ebnn": EbnnBackend(), "yolo": YoloBackend()}
+    models = [model for model, _ in spec.mix]
+    system = DpuSystem(UPMEM_ATTRIBUTES.scaled(args.system_dpus))
+    pool = DpuPool(
+        system,
+        {model: backends[model] for model in models},
+        dpus_per_model=args.dpus_per_model,
+        heal=not args.no_heal,
+    )
+    server = InferenceServer(pool, policy=policy, fault_policy=args.fault_policy)
+    result = server.run(requests)
+    print(
+        f"policy: max_batch={policy.max_batch} "
+        f"max_delay={policy.max_delay_s * 1e3:g} ms "
+        f"queue_cap={policy.queue_cap}"
+    )
+    print(result.summary())
+    for model in models:
+        print(f"  pool[{model}]: {pool.active_dpus(model)} healthy DPUs")
+    pool.shutdown()
+    return 0
+
+
+def _loadgen(args) -> int:
+    """Materialize a workload without serving it; print its shape."""
+    from repro.serve import generate_load
+
+    spec, payloads = _load_spec(args)
+    requests = generate_load(spec, payloads)
+    per_model: dict[str, int] = {}
+    for request in requests:
+        per_model[request.model] = per_model.get(request.model, 0) + 1
+    print(
+        f"{len(requests)} requests over {spec.duration_s:g} simulated s "
+        f"at {spec.rps:g} req/s ({spec.arrival_process}, seed {spec.seed})"
+    )
+    for model in sorted(per_model):
+        print(f"  {model}: {per_model[model]}")
+    for request in requests[: args.show]:
+        deadline = (
+            f"  deadline {request.deadline_s * 1e3:.3f} ms"
+            if request.deadline_s is not None else ""
+        )
+        print(
+            f"  #{request.request_id} {request.model} "
+            f"arrival {request.arrival_s * 1e3:.3f} ms{deadline}"
+        )
     return 0
 
 

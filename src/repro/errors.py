@@ -76,5 +76,9 @@ class MappingError(ReproError):
     """A CNN-to-DPU mapping scheme received an unmappable configuration."""
 
 
+class ServeError(ReproError):
+    """The online serving layer was misconfigured or misused."""
+
+
 class ExperimentError(ReproError):
     """An experiment driver was misconfigured or an unknown id requested."""

@@ -12,6 +12,7 @@ from repro.experiments import (  # noqa: F401  (import registers the drivers)
     chapter4,
     chapter5,
     faults,
+    serving,
 )
 from repro.experiments.base import (
     REGISTRY,

@@ -57,6 +57,9 @@ _M_LAUNCH_RETRIES = telemetry.GLOBAL_METRICS.counter(
 _M_LAUNCH_DEGRADED = telemetry.GLOBAL_METRICS.counter(
     "launch.degraded", "set-wide launches that completed with failed DPUs"
 )
+_M_LAUNCH_CANCELLED = telemetry.GLOBAL_METRICS.counter(
+    "launch.cancelled", "asynchronous launches abandoned via cancel()"
+)
 
 
 @dataclass
@@ -236,13 +239,27 @@ class DpuSet:
         ``wait()`` on the handle advances it (or ``wait_all`` advances once
         by the slowest handle).  ``fault_policy`` works as in
         :meth:`launch`.
+
+        The handle supports :meth:`AsyncLaunch.cancel`, which abandons the
+        launch and rolls every DPU back to its pre-launch memory and DMA
+        counters, so each DPU's pristine state is snapshotted here before
+        anything executes.
         """
+        self._require_live("launch_async")
+        pristine = [
+            (
+                parallel._copy_memory_state(dpu.export_memory_state()),
+                (dpu.dma.total_cycles, dpu.dma.total_bytes,
+                 dpu.dma.transfer_count),
+            )
+            for dpu in self.dpus
+        ]
         report = self._launch(
             n_tasklets, opt_level, kernel_params,
             workers=workers, advance_sim=False,
             fault_policy=fault_policy, max_retries=max_retries,
         )
-        return AsyncLaunch(report)
+        return AsyncLaunch(report, dpu_set=self, pristine=pristine)
 
     def _launch(
         self,
@@ -462,12 +479,73 @@ class AsyncLaunch:
     ``max`` rather than ``sum`` of their durations.
     """
 
-    def __init__(self, report: LaunchReport) -> None:
+    def __init__(
+        self,
+        report: LaunchReport,
+        *,
+        dpu_set: "DpuSet | None" = None,
+        pristine: list | None = None,
+    ) -> None:
         self._report = report
+        self._dpu_set = dpu_set
+        self._pristine = pristine
         self.done = False
+        self.cancelled = False
+
+    @property
+    def pending_seconds(self) -> float:
+        """Simulated duration of the launch, observable before sync.
+
+        Deadline-aware hosts (the serving batcher) use this to decide
+        whether waiting is worth it or the launch should be cancelled;
+        reading it does not synchronize the handle or advance the clock.
+        """
+        return self._report.seconds
+
+    def cancel(self) -> None:
+        """Abandon the in-flight launch and roll its effects back.
+
+        Every DPU of the set is restored to the pristine pre-launch
+        memory and DMA counters snapshotted at issue time (the same
+        restore path a tolerant fault policy uses for a failed attempt),
+        ``last_result`` is cleared, and the simulated cursor is never
+        advanced — as far as simulated time is concerned, the launch
+        never ran.  Cancelling twice is a no-op; cancelling after
+        :meth:`wait` raises, because the results were already observed.
+        """
+        if self.done:
+            raise LaunchError(
+                "cancel after wait: the launch was already synchronized "
+                "and its results observed"
+            )
+        if self.cancelled:
+            return
+        for dpu, (memory, dma) in zip(self._dpu_set.dpus, self._pristine):
+            dpu.apply_memory_state(parallel._copy_memory_state(memory))
+            (
+                dpu.dma.total_cycles,
+                dpu.dma.total_bytes,
+                dpu.dma.transfer_count,
+            ) = dma
+            dpu.last_result = None
+        self._dpu_set.last_report = None
+        self.cancelled = True
+        _M_LAUNCH_CANCELLED.inc()
+        tracer = telemetry.current_tracer()
+        if tracer is not None:
+            tracer.add_span(
+                "dpu.cancel",
+                category="host",
+                n_dpus=len(self._dpu_set.dpus),
+            )
 
     def _collect(self) -> LaunchReport:
         """Mark the handle synchronized without touching the sim clock."""
+        if self.cancelled:
+            raise LaunchError(
+                "wait on a cancelled launch; its results were discarded "
+                "and the DPUs rolled back to pre-launch state"
+            )
         self.done = True
         return self._report
 

@@ -204,6 +204,53 @@ class Histogram(_Metric):
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the bucket holding the target rank
+        (the Prometheus ``histogram_quantile`` estimator), tightened by
+        the exact observed ``min``/``max`` so single-observation and
+        tail quantiles never extrapolate past real data.  Returns None
+        when nothing has been observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(
+                f"quantile for {self.name!r} must be in [0, 1], got {q}"
+            )
+        if not self.count:
+            return None
+        rank = q * self.count
+        cumulative = 0.0
+        for i, n in enumerate(self.bucket_counts):
+            if not n:
+                continue
+            previous = cumulative
+            cumulative += n
+            if cumulative >= rank:
+                lower = self.buckets[i - 1] if i > 0 else self.min
+                upper = (
+                    self.buckets[i] if i < len(self.buckets) else self.max
+                )
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return float(upper)
+                fraction = (rank - previous) / n if n else 0.0
+                return float(lower + (upper - lower) * fraction)
+        return float(self.max)
+
+    @property
+    def p50(self) -> float | None:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float | None:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float | None:
+        return self.quantile(0.99)
+
     def _reset(self) -> None:
         self.bucket_counts = [0] * (len(self.buckets) + 1)
         self.count = 0
@@ -219,6 +266,9 @@ class Histogram(_Metric):
             yield (f"{self.name}{suffix}.mean", self.mean)
             yield (f"{self.name}{suffix}.min", self.min)
             yield (f"{self.name}{suffix}.max", self.max)
+            yield (f"{self.name}{suffix}.p50", self.p50)
+            yield (f"{self.name}{suffix}.p95", self.p95)
+            yield (f"{self.name}{suffix}.p99", self.p99)
 
     def _snapshot_state(self):
         return {
@@ -272,6 +322,9 @@ class Histogram(_Metric):
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
             "buckets": {
                 ("+inf" if i == len(self.buckets) else repr(self.buckets[i])): n
                 for i, n in enumerate(self.bucket_counts)

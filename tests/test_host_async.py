@@ -1,5 +1,6 @@
 """Tests for asynchronous launches (repro.host.runtime.AsyncLaunch)."""
 
+import numpy as np
 import pytest
 
 from repro.dpu.assembler import assemble
@@ -16,6 +17,18 @@ def image(n_nops: int) -> DpuImage:
         name=f"nops{n_nops}",
         program=assemble("nop\n" * n_nops + "halt"),
     )
+
+
+def doubling_set(system: DpuSystem, n_dpus: int = 2):
+    """A set loaded with the test_double kernel and seeded data."""
+    dpu_set = system.allocate(n_dpus)
+    dpu_set.load(
+        DpuImage.from_symbol_layout(
+            "cancel_double", kernel_name="test_double", layout=[("data", 16)]
+        )
+    )
+    dpu_set.broadcast("data", np.arange(4, dtype=np.int32))
+    return dpu_set
 
 
 class TestAsyncLaunch:
@@ -174,3 +187,93 @@ class TestAsyncSimTime:
         with self.telemetry.tracing() as tracer:
             report = dpu_set.launch()
             assert tracer.sim_now == pytest.approx(report.seconds)
+
+
+class TestCancel:
+    """AsyncLaunch.cancel rolls DPUs back to pristine pre-launch state."""
+
+    def test_uncancelled_launch_really_mutates(self):
+        system = DpuSystem(SMALL)
+        dpu_set = doubling_set(system)
+        dpu_set.launch_async(count=4).wait()
+        for dpu in dpu_set:
+            values = dpu.read_symbol_array("data", np.int32, 4)
+            assert list(values) == [0, 2, 4, 6]
+
+    def test_cancel_restores_memory_bit_for_bit(self):
+        system = DpuSystem(SMALL)
+        dpu_set = doubling_set(system)
+        before = [bytes(d.read_symbol("data", 16)) for d in dpu_set]
+        handle = dpu_set.launch_async(count=4)
+        handle.cancel()
+        assert handle.cancelled
+        after = [bytes(d.read_symbol("data", 16)) for d in dpu_set]
+        assert after == before
+        assert all(d.last_result is None for d in dpu_set)
+
+    def test_cancel_restores_dma_counters(self):
+        system = DpuSystem(SMALL)
+        dpu_set = doubling_set(system)
+        before = [
+            (d.dma.total_cycles, d.dma.total_bytes, d.dma.transfer_count)
+            for d in dpu_set
+        ]
+        handle = dpu_set.launch_async(count=4)
+        handle.cancel()
+        after = [
+            (d.dma.total_cycles, d.dma.total_bytes, d.dma.transfer_count)
+            for d in dpu_set
+        ]
+        assert after == before
+
+    def test_cancel_never_advances_sim_time(self):
+        from repro import telemetry
+
+        system = DpuSystem(SMALL)
+        dpu_set = doubling_set(system)
+        with telemetry.tracing() as tracer:
+            handle = dpu_set.launch_async(count=4)
+            assert handle.pending_seconds > 0.0
+            assert not handle.done  # reading it does not synchronize
+            handle.cancel()
+            assert tracer.sim_now == 0.0
+
+    def test_wait_after_cancel_raises(self):
+        system = DpuSystem(SMALL)
+        dpu_set = doubling_set(system)
+        handle = dpu_set.launch_async(count=4)
+        handle.cancel()
+        with pytest.raises(LaunchError, match="cancelled"):
+            handle.wait()
+
+    def test_cancel_after_wait_raises(self):
+        system = DpuSystem(SMALL)
+        dpu_set = doubling_set(system)
+        handle = dpu_set.launch_async(count=4)
+        handle.wait()
+        with pytest.raises(LaunchError, match="cancel after wait"):
+            handle.cancel()
+
+    def test_double_cancel_is_a_no_op(self):
+        system = DpuSystem(SMALL)
+        dpu_set = doubling_set(system)
+        handle = dpu_set.launch_async(count=4)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_relaunch_after_cancel_matches_a_fresh_run(self):
+        system = DpuSystem(SMALL)
+        cancelled_set = doubling_set(system)
+        cancelled_set.launch_async(count=4).cancel()
+        report = cancelled_set.launch(count=4)
+        fresh_set = doubling_set(system)
+        reference = fresh_set.launch(count=4)
+        assert report.cycles == reference.cycles
+        assert [
+            list(d.read_symbol_array("data", np.int32, 4))
+            for d in cancelled_set
+        ] == [
+            list(d.read_symbol_array("data", np.int32, 4))
+            for d in fresh_set
+        ]

@@ -147,6 +147,62 @@ class TestMetrics:
         assert doc["h"]["value"]["count"] == 1
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        reg = telemetry.MetricsRegistry()
+        h = reg.histogram("h", buckets=(1, 10, 100))
+        assert h.quantile(0.5) is None
+        assert h.p50 is None and h.p95 is None and h.p99 is None
+
+    def test_single_observation_is_every_quantile(self):
+        reg = telemetry.MetricsRegistry()
+        h = reg.histogram("h", buckets=(1, 10, 100))
+        h.observe(5.0)
+        # min/max tightening beats bucket-edge interpolation here.
+        assert h.p50 == 5.0
+        assert h.p95 == 5.0
+        assert h.p99 == 5.0
+
+    def test_interpolation_inside_a_bucket(self):
+        reg = telemetry.MetricsRegistry()
+        h = reg.histogram("h", buckets=(10.0,))
+        h.observe(0.0)
+        h.observe(8.0)  # both in [0, 10): interpolate between min and max
+        assert h.quantile(0.5) == pytest.approx(4.0)
+        assert h.quantile(1.0) == pytest.approx(8.0)
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        reg = telemetry.MetricsRegistry()
+        h = reg.histogram("h", buckets=(1, 10, 100, 1000))
+        for value in (0.5, 2, 3, 7, 20, 40, 80, 200, 600, 900):
+            h.observe(value)
+        quantiles = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.95, 0.99)]
+        assert quantiles == sorted(quantiles)
+        assert all(h.min <= q <= h.max for q in quantiles)
+
+    def test_out_of_range_q_rejected(self):
+        reg = telemetry.MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(1.0)
+        with pytest.raises(telemetry.MetricsError):
+            h.quantile(-0.1)
+        with pytest.raises(telemetry.MetricsError):
+            h.quantile(1.5)
+
+    def test_rows_and_json_carry_percentiles(self, tmp_path):
+        reg = telemetry.MetricsRegistry()
+        h = reg.histogram("h", buckets=(10.0,))
+        h.observe(0.0)
+        h.observe(8.0)
+        text = reg.render_text()
+        assert "h.p50" in text and "h.p95" in text and "h.p99" in text
+        path = tmp_path / "metrics.json"
+        reg.dump_json(str(path))
+        value = json.loads(path.read_text())["h"]["value"]
+        assert value["p50"] == pytest.approx(4.0)
+        assert set(value) >= {"p50", "p95", "p99"}
+
+
 class TestInstrumentedRun:
     def _traced_run(self):
         with telemetry.tracing() as tracer:
